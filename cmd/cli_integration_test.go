@@ -1,0 +1,224 @@
+// Package cmd_test builds the four CLI binaries and exercises them end
+// to end: generate → color → verify round trips, baseline selection,
+// the bench harness, and error paths.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "dima-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"graphgen", "dimacolor", "dimaverify", "dimabench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+func TestPipelineGenerateColorVerify(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	cpath := filepath.Join(dir, "c.json")
+
+	_, stderr, err := run(t, "graphgen", "-family", "er", "-n", "60", "-deg", "6", "-seed", "3", "-o", gpath)
+	if err != nil {
+		t.Fatalf("graphgen: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "n=60") {
+		t.Fatalf("graphgen summary: %q", stderr)
+	}
+
+	stdout, stderr, err := run(t, "dimacolor", "-in", gpath, "-seed", "7", "-json", cpath)
+	if err != nil {
+		t.Fatalf("dimacolor: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "terminated=true") {
+		t.Fatalf("dimacolor output: %s", stdout)
+	}
+
+	stdout, stderr, err = run(t, "dimaverify", "-graph", gpath, "-coloring", cpath)
+	if err != nil {
+		t.Fatalf("dimaverify: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "valid edge coloring") {
+		t.Fatalf("dimaverify output: %s", stdout)
+	}
+}
+
+func TestStrongPipeline(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	cpath := filepath.Join(dir, "c.json")
+	if _, stderr, err := run(t, "graphgen", "-family", "geometric", "-n", "40", "-radius", "0.3", "-seed", "4", "-o", gpath); err != nil {
+		t.Fatalf("graphgen: %v\n%s", err, stderr)
+	}
+	stdout, stderr, err := run(t, "dimacolor", "-in", gpath, "-strong", "-engine", "chan", "-json", cpath)
+	if err != nil {
+		t.Fatalf("dimacolor -strong: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "algorithm 2") {
+		t.Fatalf("output: %s", stdout)
+	}
+	stdout, _, err = run(t, "dimaverify", "-graph", gpath, "-coloring", cpath)
+	if err != nil || !strings.Contains(stdout, "valid arc coloring") {
+		t.Fatalf("dimaverify: %v %s", err, stdout)
+	}
+}
+
+func TestVerifyCatchesTampering(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	cpath := filepath.Join(dir, "c.json")
+	if _, _, err := run(t, "graphgen", "-family", "cycle", "-n", "6", "-o", gpath); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := run(t, "dimacolor", "-in", gpath, "-json", cpath); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: force all colors to 0.
+	data, err := os.ReadFile(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.ReplaceAll(string(data), "1", "0")
+	tampered = strings.ReplaceAll(tampered, "2", "0")
+	if err := os.WriteFile(cpath, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err := run(t, "dimaverify", "-graph", gpath, "-coloring", cpath)
+	if err == nil {
+		t.Fatalf("dimaverify accepted a tampered coloring:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "VIOLATION") {
+		t.Fatalf("no violation report:\n%s", stdout)
+	}
+}
+
+func TestDimacolorBaselines(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	if _, _, err := run(t, "graphgen", "-family", "er", "-n", "50", "-deg", "6", "-seed", "8", "-o", gpath); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, err := run(t, "dimacolor", "-in", gpath, "-algo", "simple")
+	if err != nil {
+		t.Fatalf("simple: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "simple (baseline)") {
+		t.Fatalf("output: %s", stdout)
+	}
+	// Tree baseline rejects cyclic inputs.
+	if _, stderr, err := run(t, "dimacolor", "-in", gpath, "-algo", "tree"); err == nil {
+		t.Fatalf("tree baseline accepted a cyclic graph:\n%s", stderr)
+	}
+	// And -strong composes only with dima.
+	if _, _, err := run(t, "dimacolor", "-in", gpath, "-algo", "simple", "-strong"); err == nil {
+		t.Fatal("-strong with -algo simple accepted")
+	}
+}
+
+func TestDimacolorTrace(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	if _, _, err := run(t, "graphgen", "-family", "path", "-n", "3", "-o", gpath); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err := run(t, "dimacolor", "-in", gpath, "-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "automaton timelines") || !strings.Contains(stdout, "node   0: C") {
+		t.Fatalf("trace output:\n%s", stdout)
+	}
+}
+
+func TestDimabenchQuick(t *testing.T) {
+	stdout, stderr, err := run(t, "dimabench", "-exp", "fig3", "-scale", "0.04", "-plot=false")
+	if err != nil {
+		t.Fatalf("dimabench: %v\n%s", err, stderr)
+	}
+	for _, want := range []string{"== fig3", "rounds/Δ", "rounds ~ Δ fit", "shape"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("missing %q in:\n%s", want, stdout)
+		}
+	}
+	// Unknown experiment errors out.
+	if _, _, err := run(t, "dimabench", "-exp", "nonsense"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestDimabenchCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	if _, stderr, err := run(t, "dimabench", "-exp", "fig6", "-scale", "0.02", "-plot=false", "-csv", csv); err != nil {
+		t.Fatalf("dimabench: %v\n%s", err, stderr)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "group,rep,n,m,delta,rounds") {
+		t.Fatalf("csv header: %q", string(data[:60]))
+	}
+}
+
+func TestGraphgenFamiliesAndErrors(t *testing.T) {
+	for _, fam := range []string{"gnp", "gnm", "ba", "ws", "regular", "powerlaw", "tree", "bipartite", "complete", "star", "grid", "hypercube"} {
+		args := []string{"-family", fam, "-n", "12", "-k", "2", "-m", "10", "-seed", "5"}
+		if _, stderr, err := run(t, "graphgen", args...); err != nil {
+			t.Fatalf("%s: %v\n%s", fam, err, stderr)
+		}
+	}
+	if _, _, err := run(t, "graphgen", "-family", "nope"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, _, err := run(t, "graphgen", "-family", "ws", "-n", "4", "-k", "3"); err == nil {
+		t.Fatal("invalid ws parameters accepted")
+	}
+}
+
+func TestDimacolorRepsMode(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	if _, _, err := run(t, "graphgen", "-family", "er", "-n", "40", "-deg", "5", "-seed", "2", "-o", gpath); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, err := run(t, "dimacolor", "-in", gpath, "-reps", "5")
+	if err != nil {
+		t.Fatalf("reps mode: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "5 runs") || !strings.Contains(stdout, "rounds: mean") {
+		t.Fatalf("stats output:\n%s", stdout)
+	}
+	// -reps rejects -json.
+	if _, _, err := run(t, "dimacolor", "-in", gpath, "-reps", "3", "-json", filepath.Join(dir, "x.json")); err == nil {
+		t.Fatal("-reps with -json accepted")
+	}
+}

@@ -1,0 +1,295 @@
+// Command dimabench regenerates the paper's evaluation (§IV): each
+// experiment reruns a figure's full grid of random graphs and prints the
+// rounds-versus-Δ series and color-quality census the figure reports,
+// together with the linear fit and the shape checks from DESIGN.md.
+//
+// Usage:
+//
+//	dimabench -exp fig3                # full §IV-A protocol (50 graphs/cell)
+//	dimabench -exp all -scale 0.2      # quick pass over every figure
+//	dimabench -exp fig6 -csv fig6.csv  # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dima/internal/experiment"
+	"dima/internal/stats"
+	"dima/internal/viz"
+)
+
+type figure struct {
+	name  string
+	specs func(scale float64) []experiment.Spec
+	shape experiment.Shape
+	notes string
+}
+
+func figures() []figure {
+	return []figure{
+		{
+			name:  "fig3",
+			specs: experiment.Fig3Specs,
+			// §IV-A: never beyond Δ+2; rounds linear in Δ.
+			shape: experiment.Shape{MaxColorsExcess: 2, MinR2: 0.7},
+			notes: "Algorithm 1 on Erdős–Rényi graphs (paper: Δ or Δ+1 colors, Δ+2 in 2/300 runs; rounds ≈ 2Δ, independent of n)",
+		},
+		{
+			name:  "fig4",
+			specs: experiment.Fig4Specs,
+			// §IV-B: the paper saw at most Δ colors on scale-free graphs.
+			// Our weakly-skewed cells (power 0.5) occasionally reach Δ+2;
+			// the census shows the split, the hard bound stays 2Δ-1.
+			shape: experiment.Shape{MaxColorsExcess: 2, MinR2: 0.7},
+			notes: "Algorithm 1 on scale-free graphs (paper: never more than Δ colors; rounds grow linearly with Δ)",
+		},
+		{
+			name:  "fig5",
+			specs: experiment.Fig5Specs,
+			// §IV-C: dense cells exceed Δ+1 (paper saw up to Δ+5); the
+			// hard bound stays 2Δ-1, checked implicitly.
+			shape: experiment.Shape{MaxColorsExcess: 6, MinR2: 0.7},
+			notes: "Algorithm 1 on small-world graphs (paper: up to Δ+5 on dense 256-vertex cells, never 2Δ-1; rounds linear in Δ)",
+		},
+		{
+			name:  "fig6",
+			specs: experiment.Fig6Specs,
+			shape: experiment.Shape{MaxColorsExcess: -1, MinR2: 0.7},
+			notes: "Algorithm 2 on symmetric directed Erdős–Rényi graphs (paper: rounds ≈ 4Δ, independent of n)",
+		},
+	}
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, or all")
+		scale   = flag.Float64("scale", 1.0, "fraction of the paper's 50 repetitions per cell")
+		seed    = flag.Uint64("seed", 2012, "master seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csvPath = flag.String("csv", "", "also write the rounds series as CSV")
+		savePth = flag.String("save", "", "persist raw runs as JSON (per figure: <fig>-<name>)")
+		plot    = flag.Bool("plot", true, "render ASCII rounds-vs-Δ scatter plots")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, f := range strings.Split(*exp, ",") {
+		selected[strings.TrimSpace(f)] = true
+	}
+	runAll := selected["all"]
+
+	anyRan := false
+	for _, fig := range figures() {
+		if !runAll && !selected[fig.name] {
+			continue
+		}
+		anyRan = true
+		start := time.Now()
+		runs, err := experiment.RunGrid(fig.specs(*scale), experiment.Config{
+			Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== %s — %s\n", fig.name, fig.notes)
+		fmt.Printf("   %d runs in %v\n\n", len(runs), time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiment.RoundsTable(runs).String())
+		fmt.Println(experiment.ColorsTable(runs).String())
+		if *plot {
+			fmt.Println(plotRuns(fig.name, runs))
+		}
+		if fit, err := experiment.FitRoundsVsDelta(runs); err == nil {
+			fmt.Printf("rounds ~ Δ fit: rounds = %.2f + %.2f·Δ (R²=%.3f, %d points)\n",
+				fit.Intercept, fit.Slope, fit.R2, fit.N)
+		}
+		problems := fig.shape.Check(runs)
+		problems = append(problems, experiment.NIndependence(runs, 1.5)...)
+		if len(problems) == 0 {
+			fmt.Println("shape: OK (quality bounds, linearity, n-independence)")
+		} else {
+			for _, p := range problems {
+				fmt.Printf("shape PROBLEM: %s\n", p)
+			}
+		}
+		fmt.Println()
+		if *csvPath != "" {
+			name := *csvPath
+			if runAll || len(selected) > 1 {
+				name = fig.name + "-" + name
+			}
+			f, err := os.Create(name)
+			if err != nil {
+				fatal(err)
+			}
+			if err := writeCSV(f, runs); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n\n", name)
+		}
+		if *savePth != "" {
+			name := fig.name + "-" + *savePth
+			f, err := os.Create(name)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiment.SaveRuns(f, fig.name, *seed, runs); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("saved %s\n\n", name)
+		}
+	}
+	if runAll || selected["fits"] {
+		anyRan = true
+		fmt.Println("== fits — the conclusion's headline constants: rounds ≈ 2Δ (Algorithm 1) and ≈ 4Δ (Algorithm 2)")
+		for _, arm := range []struct {
+			name  string
+			specs []experiment.Spec
+			paper float64
+		}{
+			{"algorithm 1 (fig3 grid)", experiment.Fig3Specs(*scale), 2},
+			{"algorithm 2 (fig6 grid)", experiment.Fig6Specs(*scale), 4},
+		} {
+			runs, err := experiment.RunGrid(arm.specs, experiment.Config{Seed: *seed, Workers: *workers})
+			if err != nil {
+				fatal(err)
+			}
+			fit, err := experiment.FitRoundsVsDelta(runs)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: rounds = %.2f + %.2f·Δ (R²=%.3f, %d runs); paper reports ≈ %.0fΔ — slope ratio %.2f\n",
+				arm.name, fit.Intercept, fit.Slope, fit.R2, fit.N, arm.paper, fit.Slope/arm.paper)
+		}
+		fmt.Println()
+	}
+	if runAll || selected["converge"] {
+		anyRan = true
+		reps := int(10**scale + 0.5)
+		if reps < 2 {
+			reps = 2
+		}
+		fmt.Println("== converge — cumulative fraction of edges/arcs colored per computation round")
+		series := map[string][]experiment.ConvergencePoint{}
+		order := []string{"alg1 er n=200 deg=8", "alg2 dir-er n=200 deg=8"}
+		var err error
+		if series[order[0]], err = experiment.Convergence(*seed, 200, 8, reps, false); err != nil {
+			fatal(err)
+		}
+		if series[order[1]], err = experiment.Convergence(*seed, 200, 8, reps, true); err != nil {
+			fatal(err)
+		}
+		if *plot {
+			fmt.Println(experiment.ConvergencePlot(series, order))
+		}
+		for _, label := range order {
+			pts := series[label]
+			half, ninety := -1, -1
+			for _, p := range pts {
+				if half < 0 && p.Fraction >= 0.5 {
+					half = p.Round
+				}
+				if ninety < 0 && p.Fraction >= 0.9 {
+					ninety = p.Round
+				}
+			}
+			fmt.Printf("%s: 50%% colored by round %d, 90%% by round %d, done by round %d\n",
+				label, half, ninety, len(pts)-1)
+		}
+		fmt.Println()
+	}
+	if runAll || selected["pairprob"] {
+		anyRan = true
+		reps := int(20**scale + 0.5)
+		if reps < 2 {
+			reps = 2
+		}
+		fmt.Println("== pairprob — empirical Equation (1): per-round pairing probability of an active node")
+		for _, arm := range []struct {
+			name   string
+			strong bool
+		}{{"algorithm 1 (er n=200 deg=8)", false}, {"algorithm 2 (dir-er n=200 deg=8)", true}} {
+			points, err := experiment.PairingProbability(*seed, 200, 8, reps, arm.strong)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\n%s, %d runs:\n", arm.name, reps)
+			fmt.Println(experiment.PairingTable(points, 10).String())
+		}
+		fmt.Println("Proposition 1 bounds the Algorithm 1 rate below by 1/4 (invitee side alone);")
+		fmt.Println("Algorithm 2 pairs per *arc*, needing a directed invitation, so its per-round")
+		fmt.Println("rate is lower while the O(Δ) round shape is unchanged.")
+		fmt.Println()
+	}
+	if runAll || selected["compare"] {
+		anyRan = true
+		start := time.Now()
+		reps := int(10**scale + 0.5)
+		if reps < 2 {
+			reps = 2
+		}
+		runs, err := experiment.RunComparison(*seed, 200, []float64{4, 8, 16}, reps, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== compare — Algorithm 1 vs the cited prior-work baseline (ref [10]) and centralized references")
+		fmt.Printf("   %d runs in %v\n\n", len(runs), time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiment.ComparisonTable(runs).String())
+		fmt.Println("dima trades rounds (≈2Δ) for a Δ/Δ+1 palette; the simple algorithm")
+		fmt.Println("finishes in O(log m) rounds but spreads colors over the 2Δ-1 palette.")
+		fmt.Println()
+
+		start = time.Now()
+		strongRuns, err := experiment.RunStrongComparison(*seed, 100, []float64{4, 8}, reps, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== compare-strong — Algorithm 2 (DiMa2Ed) vs the simple-strong baseline and centralized greedy")
+		fmt.Printf("   %d runs in %v\n\n", len(strongRuns), time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiment.StrongComparisonTable(strongRuns).String())
+		fmt.Println("same trade at distance 2: dima2ed spends Θ(Δ) rounds for a near-greedy channel")
+		fmt.Println("count; the simple-strong baseline finishes in O(log) rounds but needs a palette")
+		fmt.Println("sized to the worst-case conflict degree (global knowledge).")
+		fmt.Println()
+	}
+	if !anyRan {
+		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, fits, all)", *exp))
+	}
+}
+
+// plotRuns renders the figure's scatter: one point per run, one series
+// per n (matching the paper's plotting convention of separating sizes).
+func plotRuns(name string, runs []experiment.Run) string {
+	bySeries := map[string][]viz.Point{}
+	var order []string
+	for _, r := range runs {
+		key := fmt.Sprintf("n=%d", r.N)
+		if _, ok := bySeries[key]; !ok {
+			order = append(order, key)
+		}
+		bySeries[key] = append(bySeries[key], viz.Point{X: float64(r.Delta), Y: float64(r.CompRounds)})
+	}
+	p := viz.NewPlot(fmt.Sprintf("%s: computation rounds vs Δ", name), "Δ", "rounds", 64, 16)
+	for _, key := range order {
+		p.Add(viz.Series{Name: key, Points: bySeries[key]})
+	}
+	return p.Render()
+}
+
+func writeCSV(f *os.File, runs []experiment.Run) error {
+	t := stats.NewTable("group", "rep", "n", "m", "delta", "rounds", "colors", "maxColor", "messages", "pairRate")
+	for _, r := range runs {
+		t.AddRow(r.Group, r.Rep, r.N, r.M, r.Delta, r.CompRounds, r.Colors, r.MaxColor, r.Messages, r.PairRate)
+	}
+	return t.WriteCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dimabench: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,277 @@
+// Command dimacolor runs the paper's distributed coloring algorithms on
+// a graph read from a file (or stdin) in the dima edge-list format.
+//
+// Usage:
+//
+//	graphgen -family er -n 200 -deg 8 | dimacolor -seed 7
+//	dimacolor -in er.graph -strong -engine chan -json out.json
+//	dimacolor -in small.graph -trace
+//
+// By default it runs Algorithm 1 (edge coloring); -strong runs
+// Algorithm 2 (DiMa2Ed strong distance-2 coloring) on the symmetric
+// digraph of the input. The coloring is verified before reporting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dima/internal/baseline"
+	"dima/internal/core"
+	"dima/internal/graph"
+	"dima/internal/graphio"
+	"dima/internal/mpr"
+	"dima/internal/net"
+	"dima/internal/stats"
+	"dima/internal/trace"
+	"dima/internal/verify"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input graph file (default stdin)")
+		algo     = flag.String("algo", "dima", "algorithm: dima (paper), simple (prior-work ref 10), tree (deterministic wave, forests only)")
+		strong   = flag.Bool("strong", false, "run Algorithm 2 (strong distance-2 coloring)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		reps     = flag.Int("reps", 1, "run this many seeds (seed, seed+1, ...) and report statistics")
+		engine   = flag.String("engine", "sync", "runtime: sync (sequential) or chan (goroutine per vertex)")
+		rule     = flag.String("rule", "lowest", "color proposal rule: lowest or random")
+		jsonOut  = flag.String("json", "", "write the coloring as JSON to this file")
+		showTr   = flag.Bool("trace", false, "print per-node automaton timelines (small graphs)")
+		maxComp  = flag.Int("max-rounds", 0, "computation round cap (0 = default)")
+		noVerify = flag.Bool("no-verify", false, "skip the validity check")
+	)
+	flag.Parse()
+
+	g, err := readGraph(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := core.Options{Seed: *seed, MaxCompRounds: *maxComp}
+	switch *engine {
+	case "sync":
+		opt.Engine = net.RunSync
+	case "chan":
+		opt.Engine = net.RunChan
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	switch *rule {
+	case "lowest":
+		opt.ColorRule = core.LowestFirst
+	case "random":
+		opt.ColorRule = core.RandomAvailable
+	default:
+		fatal(fmt.Errorf("unknown color rule %q", *rule))
+	}
+	var rec *trace.Recorder
+	if *showTr {
+		rec = trace.NewRecorder(0)
+		opt.Hook = rec.Hook()
+	}
+
+	if *strong && *algo != "dima" {
+		fatal(fmt.Errorf("-strong requires -algo dima"))
+	}
+	if *reps > 1 {
+		if *jsonOut != "" || *showTr {
+			fatal(fmt.Errorf("-reps does not combine with -json or -trace"))
+		}
+		runStats(g, opt, *algo, *strong, *reps)
+		return
+	}
+	var res *core.Result
+	var d *graph.Digraph
+	kind := "edge"
+	switch {
+	case *strong:
+		kind = "arc"
+		d = graph.NewSymmetric(g)
+		res, err = core.ColorStrong(d, opt)
+	case *algo == "dima":
+		res, err = core.ColorEdges(g, opt)
+	case *algo == "simple":
+		var sres *mpr.Result
+		sres, err = mpr.Color(g, mpr.Options{Seed: opt.Seed, Engine: opt.Engine, MaxRounds: opt.MaxCompRounds})
+		if err == nil {
+			res = &core.Result{
+				Colors: sres.Colors, NumColors: sres.NumColors,
+				CompRounds: sres.Rounds, CommRounds: sres.CommRounds,
+				Messages: sres.Messages, Terminated: sres.Terminated,
+			}
+			res.MaxColor = -1
+			for _, c := range sres.Colors {
+				if c > res.MaxColor {
+					res.MaxColor = c
+				}
+			}
+		}
+	case *algo == "tree":
+		var tres *baseline.TreeWaveResult
+		tres, err = baseline.TreeWave(g, opt.Engine)
+		if err == nil {
+			distinct, maxc := verify.CountColors(tres.Colors)
+			res = &core.Result{
+				Colors: tres.Colors, NumColors: distinct, MaxColor: maxc,
+				CompRounds: tres.Rounds, CommRounds: tres.Rounds,
+				Messages: tres.Messages, Terminated: tres.Terminated,
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*noVerify {
+		var violations []verify.Violation
+		if *strong {
+			violations = verify.StrongColoring(d, res.Colors)
+		} else {
+			violations = verify.EdgeColoring(g, res.Colors)
+		}
+		for _, v := range violations {
+			if v.Kind != "uncolored" || res.Terminated {
+				fatal(fmt.Errorf("verification failed: %v", v))
+			}
+		}
+	}
+
+	delta := g.MaxDegree()
+	fmt.Printf("graph: n=%d m=%d Δ=%d\n", g.N(), g.M(), delta)
+	alg := "algorithm 1 (edge coloring)"
+	if *strong {
+		alg = "algorithm 2 (strong distance-2 coloring)"
+	} else if *algo != "dima" {
+		alg = *algo + " (baseline)"
+	}
+	fmt.Printf("run:   %s, seed=%d, engine=%s, rule=%s\n", alg, *seed, *engine, *rule)
+	fmt.Printf("result: colors=%d maxColor=%d rounds=%d commRounds=%d messages=%d terminated=%v\n",
+		res.NumColors, res.MaxColor, res.CompRounds, res.CommRounds, res.Messages, res.Terminated)
+	if delta > 0 {
+		fmt.Printf("quality: colors-Δ=%+d rounds/Δ=%.2f\n", res.NumColors-delta,
+			float64(res.CompRounds)/float64(delta))
+	}
+	if res.ConflictsDropped > 0 {
+		fmt.Printf("confirm exchange dropped %d tentative claims\n", res.ConflictsDropped)
+	}
+
+	if rec != nil {
+		fmt.Println("\nautomaton timelines:")
+		fmt.Print(rec.Timeline())
+		if err := rec.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		c := &graphio.Coloring{
+			Kind: kind, N: g.N(), M: g.M(), Colors: res.Colors,
+			Meta: map[string]string{
+				"seed":   strconv.FormatUint(*seed, 10),
+				"rounds": strconv.Itoa(res.CompRounds),
+				"colors": strconv.Itoa(res.NumColors),
+			},
+		}
+		if err := graphio.WriteColoring(f, c); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runStats executes the selected algorithm across consecutive seeds and
+// prints round/color statistics — the quick way to see a graph's typical
+// behavior rather than a single sample.
+func runStats(g *graph.Graph, opt core.Options, algo string, strong bool, reps int) {
+	var rounds, colors, msgs stats.Online
+	var d *graph.Digraph
+	if strong {
+		d = graph.NewSymmetric(g)
+	}
+	for i := 0; i < reps; i++ {
+		o := opt
+		o.Seed = opt.Seed + uint64(i)
+		var compRounds, numColors int
+		var messages int64
+		switch {
+		case strong:
+			res, err := core.ColorStrong(d, o)
+			if err != nil {
+				fatal(err)
+			}
+			if !res.Terminated {
+				fatal(fmt.Errorf("seed %d did not terminate", o.Seed))
+			}
+			if v := verify.StrongColoring(d, res.Colors); len(v) != 0 {
+				fatal(fmt.Errorf("seed %d: %v", o.Seed, v[0]))
+			}
+			compRounds, numColors, messages = res.CompRounds, res.NumColors, res.Messages
+		case algo == "dima":
+			res, err := core.ColorEdges(g, o)
+			if err != nil {
+				fatal(err)
+			}
+			if !res.Terminated {
+				fatal(fmt.Errorf("seed %d did not terminate", o.Seed))
+			}
+			if v := verify.EdgeColoring(g, res.Colors); len(v) != 0 {
+				fatal(fmt.Errorf("seed %d: %v", o.Seed, v[0]))
+			}
+			compRounds, numColors, messages = res.CompRounds, res.NumColors, res.Messages
+		case algo == "simple":
+			res, err := mpr.Color(g, mpr.Options{Seed: o.Seed, Engine: o.Engine, MaxRounds: o.MaxCompRounds})
+			if err != nil {
+				fatal(err)
+			}
+			if v := verify.EdgeColoring(g, res.Colors); len(v) != 0 {
+				fatal(fmt.Errorf("seed %d: %v", o.Seed, v[0]))
+			}
+			compRounds, numColors, messages = res.Rounds, res.NumColors, res.Messages
+		default:
+			fatal(fmt.Errorf("-reps supports dima and simple algorithms"))
+		}
+		rounds.Add(float64(compRounds))
+		colors.Add(float64(numColors))
+		msgs.Add(float64(messages))
+	}
+	delta := g.MaxDegree()
+	fmt.Printf("graph: n=%d m=%d Δ=%d\n", g.N(), g.M(), delta)
+	fmt.Printf("%d runs (seeds %d..%d), all verified:\n", reps, opt.Seed, opt.Seed+uint64(reps)-1)
+	fmt.Printf("rounds: mean %.1f  sd %.1f  min %.0f  max %.0f", rounds.Mean(), rounds.Std(), rounds.Min(), rounds.Max())
+	if delta > 0 {
+		fmt.Printf("  (%.2fΔ)", rounds.Mean()/float64(delta))
+	}
+	fmt.Println()
+	fmt.Printf("colors: mean %.1f  sd %.1f  min %.0f  max %.0f", colors.Mean(), colors.Std(), colors.Min(), colors.Max())
+	if delta > 0 {
+		fmt.Printf("  (Δ%+.1f)", colors.Mean()-float64(delta))
+	}
+	fmt.Println()
+	fmt.Printf("messages: mean %.0f\n", msgs.Mean())
+}
+
+func readGraph(path string) (*graph.Graph, error) {
+	if path == "" {
+		return graphio.ReadGraph(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graphio.ReadGraph(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dimacolor: %v\n", err)
+	os.Exit(1)
+}

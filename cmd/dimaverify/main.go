@@ -1,0 +1,78 @@
+// Command dimaverify checks a coloring (as written by dimacolor -json)
+// against its graph and reports every violation. It exits 0 when the
+// coloring is valid and complete, 1 otherwise.
+//
+// Usage:
+//
+//	dimaverify -graph er.graph -coloring out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dima/internal/graph"
+	"dima/internal/graphio"
+	"dima/internal/verify"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file (edge-list format)")
+		colorPath = flag.String("coloring", "", "coloring file (JSON)")
+	)
+	flag.Parse()
+	if *graphPath == "" || *colorPath == "" {
+		fmt.Fprintln(os.Stderr, "dimaverify: -graph and -coloring are required")
+		os.Exit(2)
+	}
+
+	gf, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := graphio.ReadGraph(gf)
+	gf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	cf, err := os.Open(*colorPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := graphio.ReadColoring(cf)
+	cf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	if c.N != g.N() || c.M != g.M() {
+		fatal(fmt.Errorf("coloring is for a %d-vertex %d-edge graph; input has %d/%d",
+			c.N, c.M, g.N(), g.M()))
+	}
+
+	var violations []verify.Violation
+	switch c.Kind {
+	case "edge":
+		violations = verify.EdgeColoring(g, c.Colors)
+	case "arc":
+		violations = verify.StrongColoring(graph.NewSymmetric(g), c.Colors)
+	}
+	if len(violations) == 0 {
+		distinct, maxc := verify.CountColors(c.Colors)
+		fmt.Printf("valid %s coloring: %d colors (max index %d), Δ=%d\n",
+			c.Kind, distinct, maxc, g.MaxDegree())
+		return
+	}
+	for _, v := range violations {
+		fmt.Printf("VIOLATION [%s]: %v\n", v.Kind, v)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dimaverify: %v\n", err)
+	os.Exit(1)
+}

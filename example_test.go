@@ -1,0 +1,78 @@
+package dima_test
+
+import (
+	"fmt"
+	"log"
+
+	"dima"
+)
+
+// A complete run of Algorithm 1: build a graph, color it, verify.
+func ExampleColorEdges() {
+	g := dima.NewGraph(4) // a 4-cycle
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := dima.ColorEdges(g, dima.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("valid:", len(dima.VerifyEdgeColoring(g, res.Colors)) == 0)
+	fmt.Println("colors:", res.NumColors)
+	// Output:
+	// valid: true
+	// colors: 2
+}
+
+// Strong distance-2 coloring of a path's symmetric digraph: all four
+// arcs of P3 are mutually conflicting, so four channels are needed.
+func ExampleColorStrong() {
+	g := dima.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	d := dima.NewSymmetric(g)
+	res, err := dima.ColorStrong(d, dima.Options{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("valid:", len(dima.VerifyStrongColoring(d, res.Colors)) == 0)
+	fmt.Println("channels:", res.NumColors)
+	// Output:
+	// valid: true
+	// channels: 4
+}
+
+// The automaton's original application: a maximal matching and the
+// induced 2-approximate vertex cover.
+func ExampleMaximalMatching() {
+	g := dima.NewGraph(4) // path 0-1-2-3
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	res, err := dima.MaximalMatching(g, dima.MatchOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matched edges:", len(res.Edges))
+	fmt.Println("cover size:", len(res.VertexCover(g)))
+	// Output:
+	// matched edges: 1
+	// cover size: 2
+}
+
+// Wall-clock analysis: uniform link delays make every round cost the
+// same, so the makespan is rounds × delay.
+func ExampleMakespan() {
+	g := dima.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	t, err := dima.Makespan(g, 5, dima.UniformLatency(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("time:", t)
+	// Output:
+	// time: 10
+}

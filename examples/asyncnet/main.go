@@ -1,0 +1,66 @@
+// Asynchronous-time analysis: the paper's model is synchronous, and the
+// goroutine runtime realizes it over asynchronous channels with an
+// α-synchronizer (a node advances once all neighbor messages for the
+// round arrived). This example asks what that costs in *time* rather
+// than rounds: given heterogeneous link delays, the completion time is a
+// critical path through the delay graph, not rounds × slowest-link.
+//
+// It also shows the rounds-versus-palette trade against the prior-work
+// baseline in time units.
+//
+//	go run ./examples/asyncnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dima"
+)
+
+func main() {
+	const seed = 21
+	g, err := dima.Geometric(dima.NewRand(seed), 70, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d links, Δ=%d\n\n", g.N(), g.M(), g.MaxDegree())
+
+	dimaRes, err := dima.ColorEdges(g, dima.Options{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simpleRes, err := dima.SimpleColor(g, dima.SimpleOptions{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Link delays uniform in [1, 5] time units (say, milliseconds).
+	lat := dima.RandomLatency{Seed: seed, Min: 1, Max: 5}
+	// Communication rounds, not computation rounds, hit the network.
+	dimaTime, err := dima.Makespan(g, dimaRes.CommRounds, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simpleTime, err := dima.Makespan(g, simpleRes.CommRounds, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worstDima, _ := dima.Makespan(g, dimaRes.CommRounds, dima.UniformLatency(5))
+
+	fmt.Printf("%-22s %10s %12s %10s %12s\n", "algorithm", "colors", "comm rounds", "time", "worst-case")
+	fmt.Printf("%-22s %10d %12d %10.0f %12.0f\n",
+		"dima (alg 1)", dimaRes.NumColors, dimaRes.CommRounds, dimaTime, worstDima)
+	worstSimple, _ := dima.Makespan(g, simpleRes.CommRounds, dima.UniformLatency(5))
+	fmt.Printf("%-22s %10d %12d %10.0f %12.0f\n",
+		"simple (ref 10)", simpleRes.NumColors, simpleRes.CommRounds, simpleTime, worstSimple)
+
+	fmt.Printf("\nα-synchronizer effect: with delays U[1,5], dima finishes in %.0f time units —\n", dimaTime)
+	fmt.Printf("%.0f%% of the naive rounds × max-delay bound (%.0f), because rounds pipeline\n",
+		100*dimaTime/worstDima, worstDima)
+	fmt.Println("along the delay graph's critical path instead of waiting for the slowest link.")
+	fmt.Printf("\npalette trade in time units: the simple algorithm is %.1fx faster here but\n",
+		dimaTime/simpleTime)
+	fmt.Printf("uses %d colors where dima uses %d (Δ=%d).\n",
+		simpleRes.NumColors, dimaRes.NumColors, g.MaxDegree())
+}

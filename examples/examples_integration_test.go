@@ -1,0 +1,48 @@
+// Package examples_test builds and runs every example program, checking
+// that each completes successfully and prints its headline output. The
+// examples double as end-to-end smoke tests of the public API.
+package examples_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./"+name)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	cases := map[string][]string{
+		"quickstart":  {"Petersen graph", "coloring verified"},
+		"adhocnet":    {"ad-hoc network", "distributed (DiMa2Ed)", "interference-free"},
+		"sensorsched": {"TDMA frame", "distributed schedule"},
+		"scalefree":   {"scale-free graph", "Misra–Gries"},
+		"vertexcover": {"maximal matching", "cover verified"},
+		"asyncnet":    {"α-synchronizer effect", "palette trade"},
+		"datafusion":  {"total quality", "top fusion pairs"},
+	}
+	for name, wants := range cases {
+		name, wants := name, wants
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out := runExample(t, name)
+			for _, w := range wants {
+				if !strings.Contains(out, w) {
+					t.Fatalf("%s output missing %q:\n%s", name, w, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+// Scale-free topologies were the surprise of the paper's evaluation
+// (§IV-B): despite the extreme degree skew, the distributed algorithm
+// never needed more than Δ colors. This example reproduces that
+// observation on one instance and compares against both centralized
+// baselines.
+//
+//	go run ./examples/scalefree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dima"
+)
+
+func main() {
+	const seed = 2012
+	g, err := dima.ScaleFree(dima.NewRand(seed), 300, 2, 1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta := g.MaxDegree()
+	fmt.Printf("scale-free graph: %d vertices, %d edges, Δ=%d (avg degree %.1f — a heavy hub)\n",
+		g.N(), g.M(), delta, g.AvgDegree())
+
+	res, err := dima.ColorEdges(g, dima.Options{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v := dima.VerifyEdgeColoring(g, res.Colors); len(v) != 0 {
+		log.Fatalf("invalid: %v", v[0])
+	}
+
+	greedy := dima.GreedySequential(g)
+	vizing, err := dima.VizingSequential(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-28s %8s %10s\n", "algorithm", "colors", "colors-Δ")
+	fmt.Printf("%-28s %8d %+10d   (%d rounds, %d messages)\n",
+		"distributed (Algorithm 1)", res.NumColors, res.NumColors-delta, res.CompRounds, res.Messages)
+	fmt.Printf("%-28s %8d %+10d\n", "centralized greedy", distinct(greedy), distinct(greedy)-delta)
+	fmt.Printf("%-28s %8d %+10d   (Vizing bound Δ+1)\n", "centralized Misra–Gries", distinct(vizing), distinct(vizing)-delta)
+
+	// The paper's §IV-B observation: hub edges are colored one per round
+	// — the hub participates in nearly every matching — so the palette
+	// tracks Δ exactly.
+	if res.NumColors <= delta {
+		fmt.Printf("\nreproduces §IV-B: the scale-free instance used no more than Δ colors\n")
+	} else {
+		fmt.Printf("\nused %d colors beyond Δ on this instance\n", res.NumColors-delta)
+	}
+	fmt.Printf("rounds/Δ = %.2f (the paper reports rounds tending to 2Δ)\n",
+		float64(res.CompRounds)/float64(delta))
+}
+
+func distinct(colors []int) int {
+	seen := map[int]bool{}
+	for _, c := range colors {
+		if c >= 0 {
+			seen[c] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,3 @@
+module dima
+
+go 1.22

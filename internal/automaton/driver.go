@@ -1,0 +1,150 @@
+package automaton
+
+import (
+	"fmt"
+
+	"dima/internal/msg"
+	"dima/internal/rng"
+)
+
+// Pairing is the problem-specific half of a matching-discovery protocol.
+// The Driver owns the paper's automaton — coin toss, state transitions,
+// invitation/response bookkeeping — and calls back into the Pairing for
+// every decision that depends on the problem being solved. Implementing
+// this interface is how the framework of the paper's conclusion is meant
+// to be extended; internal/matching is the reference implementation.
+//
+// All methods run in the node's goroutine (or the sequential scheduler);
+// no synchronization is needed, but implementations must be
+// deterministic given their own state and the provided random stream.
+type Pairing interface {
+	// Live reports whether this node still has work. A node whose Live
+	// turns false finishes its current cycle and transitions to Done.
+	Live() bool
+	// Invite builds the invitation to broadcast when the coin makes
+	// this node an inviter: the returned message must carry From (this
+	// node), To (the invited neighbor), and any Edge/Color payload.
+	// Returning ok == false skips inviting this round (the node
+	// listens instead).
+	Invite(r *rng.Rand) (m msg.Message, ok bool)
+	// Respond chooses among the invitations addressed to this node
+	// (mine) given everything overheard; returning ok == true
+	// broadcasts the response and commits this side of the pair. The
+	// implementation records its own tentative state.
+	Respond(mine, overheard []msg.Message, r *rng.Rand) (response msg.Message, ok bool)
+	// Complete delivers the response that accepted this node's
+	// invitation (inviter side of the pair).
+	Complete(response msg.Message)
+	// Exchange returns the end-of-round broadcasts (the automaton's E
+	// state); nil when there is nothing to announce.
+	Exchange() []msg.Message
+	// Absorb processes the previous round's exchange broadcasts at the
+	// start of a new cycle.
+	Absorb(inbox []msg.Message)
+}
+
+// Driver hosts a Pairing on the matching-discovery automaton and
+// implements net.Node. One computation round costs three communication
+// rounds: invitations, responses, exchange.
+type Driver struct {
+	id   int
+	r    *rng.Rand
+	p    Pairing
+	mach *Machine
+
+	inviteEdge int
+	inviteTo   int
+	invited    bool
+}
+
+// DriverPhases is the number of communication rounds per computation
+// round of a driver-hosted protocol.
+const DriverPhases = 3
+
+// NewDriver wraps a Pairing as a protocol node. If the pairing starts
+// with no work, the driver walks the machine straight to Done.
+func NewDriver(id int, r *rng.Rand, p Pairing, hook Hook) *Driver {
+	d := &Driver{id: id, r: r, p: p, mach: NewMachine(id, hook)}
+	if !p.Live() {
+		for _, s := range []State{Listen, Respond, Update, Exchange, Done} {
+			d.mach.MustTransition(s)
+		}
+	}
+	return d
+}
+
+// ID implements net.Node.
+func (d *Driver) ID() int { return d.id }
+
+// Done implements net.Node.
+func (d *Driver) Done() bool { return d.mach.State() == Done }
+
+// Step implements net.Node.
+func (d *Driver) Step(round int, inbox []msg.Message) []msg.Message {
+	if d.Done() {
+		return nil
+	}
+	switch round % DriverPhases {
+	case 0:
+		d.p.Absorb(inbox)
+		d.invited = false
+		// A node whose work just finished idles through one last cycle
+		// as a listener and stops at the round's end.
+		if !d.p.Live() {
+			d.mach.MustTransition(Listen)
+			return nil
+		}
+		if d.r.Bool() {
+			if m, ok := d.p.Invite(d.r); ok {
+				if m.From != d.id {
+					panic(fmt.Sprintf("automaton: node %d built invitation from %d", d.id, m.From))
+				}
+				d.mach.MustTransition(Invite)
+				d.invited = true
+				d.inviteEdge, d.inviteTo = m.Edge, m.To
+				m.Kind = msg.KindInvite
+				return []msg.Message{m}
+			}
+		}
+		d.mach.MustTransition(Listen)
+		return nil
+
+	case 1:
+		if d.mach.State() == Invite {
+			d.mach.MustTransition(Wait)
+			return nil
+		}
+		d.mach.MustTransition(Respond)
+		mine, overheard := SplitInvites(d.id, inbox)
+		if !d.p.Live() || len(mine) == 0 {
+			return nil
+		}
+		if m, ok := d.p.Respond(mine, overheard, d.r); ok {
+			m.Kind = msg.KindResponse
+			m.From = d.id
+			return []msg.Message{m}
+		}
+		return nil
+
+	default:
+		switch d.mach.State() {
+		case Wait:
+			if m, ok, _ := FindResponse(d.id, d.inviteEdge, inbox); ok && m.From == d.inviteTo {
+				d.p.Complete(m)
+			}
+			d.mach.MustTransition(Update)
+		case Respond:
+			d.mach.MustTransition(Update)
+		default:
+			panic(fmt.Sprintf("automaton: node %d in state %v at exchange phase", d.id, d.mach.State()))
+		}
+		d.mach.MustTransition(Exchange)
+		out := d.p.Exchange()
+		if d.p.Live() {
+			d.mach.MustTransition(Choose)
+		} else {
+			d.mach.MustTransition(Done)
+		}
+		return out
+	}
+}

@@ -1,0 +1,120 @@
+// Package core implements the paper's two contributions on top of the
+// matching-discovery automaton and the synchronous message-passing
+// substrate:
+//
+//   - Algorithm 1: distributed edge coloring of an undirected graph
+//     (ColorEdges). At most 2Δ-1 colors, O(Δ) computation rounds,
+//     one-hop information.
+//   - Algorithm 2 (DiMa2Ed): distributed strong (distance-2) edge
+//     coloring of a symmetric digraph (ColorStrong), with the
+//     claim/confirm exchange correction described in DESIGN.md.
+//
+// Both algorithms are implemented as net.Node state machines whose
+// states are validated against the automaton's transition table, so any
+// deviation from the paper's state diagram panics in tests.
+package core
+
+import "math/bits"
+
+// ColorSet is a growable bit set over non-negative color indices. The
+// zero value is an empty set ready for use.
+type ColorSet struct {
+	words []uint64
+}
+
+// Add inserts color c. It panics on negative colors, which would
+// indicate a protocol bug.
+func (s *ColorSet) Add(c int) {
+	if c < 0 {
+		panic("core: negative color")
+	}
+	w := c >> 6
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(c) & 63)
+}
+
+// Has reports whether color c is in the set.
+func (s *ColorSet) Has(c int) bool {
+	if c < 0 {
+		return false
+	}
+	w := c >> 6
+	return w < len(s.words) && s.words[w]&(1<<(uint(c)&63)) != 0
+}
+
+// Count returns the number of colors in the set.
+func (s *ColorSet) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Max returns the largest color in the set, or -1 if empty.
+func (s *ColorSet) Max() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if s.words[i] != 0 {
+			return i<<6 + 63 - bits.LeadingZeros64(s.words[i])
+		}
+	}
+	return -1
+}
+
+// Clone returns an independent copy of s.
+func (s *ColorSet) Clone() *ColorSet {
+	return &ColorSet{words: append([]uint64(nil), s.words...)}
+}
+
+// LowestFree returns the smallest color contained in none of the given
+// sets — the paper's "lowest indexed color available" rule (line 1.11).
+// Nil sets are permitted and treated as empty.
+func LowestFree(sets ...*ColorSet) int {
+	for w := 0; ; w++ {
+		var used uint64
+		for _, s := range sets {
+			if s != nil && w < len(s.words) {
+				used |= s.words[w]
+			}
+		}
+		if used != ^uint64(0) {
+			return w<<6 + bits.TrailingZeros64(^used)
+		}
+	}
+}
+
+// FreeBelow returns all colors in [0, bound) contained in none of the
+// given sets, in increasing order. Used by the random-color ablation.
+func FreeBelow(bound int, sets ...*ColorSet) []int {
+	var free []int
+	for c := 0; c < bound; c++ {
+		ok := true
+		for _, s := range sets {
+			if s != nil && s.Has(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			free = append(free, c)
+		}
+	}
+	return free
+}
+
+// MaxOf returns the largest color across the given sets, or -1 if all
+// are empty.
+func MaxOf(sets ...*ColorSet) int {
+	m := -1
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		if v := s.Max(); v > m {
+			m = v
+		}
+	}
+	return m
+}

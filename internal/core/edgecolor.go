@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+
+	"dima/internal/automaton"
+	"dima/internal/graph"
+	"dima/internal/msg"
+	"dima/internal/net"
+	"dima/internal/rng"
+)
+
+// ecPhases is the number of communication rounds per computation round
+// of Algorithm 1: invitations, responses, and the exchange broadcast.
+const ecPhases = 3
+
+// ColorEdges runs Algorithm 1, the distributed matching-based edge
+// coloring, on g and returns the per-edge colors plus run metrics.
+//
+// Each vertex is an independent automaton instance. Per computation
+// round: every active node flips a coin (C) to invite or listen; an
+// inviter picks a random uncolored incident edge and proposes the lowest
+// color available to both endpoints (I), then waits (W); a listener
+// collects invitations addressed to it (L), accepts one at random (R);
+// pair members assign the color (U) and broadcast it to their neighbors
+// (E). Edges colored in one round form a matching, so no two adjacent
+// edges can be assigned in the same round, which is the correctness core
+// of the paper's Proposition 2.
+func ColorEdges(g *graph.Graph, opt Options) (*Result, error) {
+	base := rng.New(opt.Seed)
+	nodes := make([]net.Node, g.N())
+	ecs := make([]*ecNode, g.N())
+	for u := 0; u < g.N(); u++ {
+		ecs[u] = newECNode(g, u, base.Derive(uint64(u)), &opt)
+		nodes[u] = ecs[u]
+	}
+	netRes, err := opt.engine()(g, nodes, net.Config{
+		MaxRounds: ecPhases * opt.maxCompRounds(),
+		Fault:     opt.Fault,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Colors:     make([]int, g.M()),
+		CommRounds: netRes.Rounds,
+		CompRounds: (netRes.Rounds + ecPhases - 1) / ecPhases,
+		Messages:   netRes.Messages,
+		Deliveries: netRes.Deliveries,
+		Bytes:      netRes.Bytes,
+		Terminated: netRes.Terminated,
+	}
+	for i := range res.Colors {
+		res.Colors[i] = -1
+	}
+	// Assemble edge colors from node-local assignments, verifying that
+	// both endpoints agree — the distributed analogue of Proposition 2's
+	// "v, w color the edge (v, w) with different colors" case.
+	endpoints := make([]int8, g.M())
+	for _, n := range ecs {
+		res.DefensiveRejects += n.defensiveRejects
+		for e, c := range n.colors {
+			endpoints[e]++
+			if res.Colors[e] == -1 {
+				res.Colors[e] = c
+			} else if res.Colors[e] != c {
+				return nil, fmt.Errorf("core: edge %v colored %d and %d by its endpoints",
+					g.EdgeAt(e), res.Colors[e], c)
+			}
+		}
+	}
+	for _, k := range endpoints {
+		if k == 1 {
+			res.HalfColored++
+		}
+	}
+	if opt.CollectParticipation {
+		res.Participation = aggregateParticipation(res.CompRounds, func(u int) []bool {
+			return ecs[u].paired
+		}, g.N())
+	}
+	if res.Terminated {
+		for e, c := range res.Colors {
+			if c < 0 {
+				return nil, fmt.Errorf("core: terminated with uncolored edge %v", g.EdgeAt(graph.EdgeID(e)))
+			}
+		}
+	}
+	res.countColors()
+	return res, nil
+}
+
+// ecNode is one vertex of Algorithm 1.
+type ecNode struct {
+	id   int
+	g    *graph.Graph
+	opt  *Options
+	r    *rng.Rand
+	mach *automaton.Machine
+
+	colors    map[graph.EdgeID]int // colors of own incident edges
+	uncolored []graph.EdgeID       // own incident edges not yet colored
+	usedSelf  ColorSet             // colors on own colored edges (live complement)
+	usedNbr   []*ColorSet          // usedNbr[i]: colors used by Neighbors(u)[i] (the dead list)
+	nbrIndex  map[int]int          // neighbor vertex -> index in Neighbors(u)
+
+	// Current invitation, valid while the machine is in I/W.
+	inviteEdge  graph.EdgeID
+	inviteTo    int
+	inviteColor int
+
+	pendingPaints []msg.Paint // colors assigned this round, to broadcast in E
+
+	defensiveRejects int
+
+	// Participation log (Options.CollectParticipation): one entry per
+	// computation round this node was active in; true if it paired.
+	paired []bool
+}
+
+func newECNode(g *graph.Graph, u int, r *rng.Rand, opt *Options) *ecNode {
+	n := &ecNode{
+		id:       u,
+		g:        g,
+		opt:      opt,
+		r:        r,
+		mach:     automaton.NewMachine(u, opt.Hook),
+		colors:   make(map[graph.EdgeID]int, g.Degree(u)),
+		usedNbr:  make([]*ColorSet, g.Degree(u)),
+		nbrIndex: make(map[int]int, g.Degree(u)),
+	}
+	for i, v := range g.Neighbors(u) {
+		n.usedNbr[i] = &ColorSet{}
+		n.nbrIndex[v] = i
+	}
+	n.uncolored = append(n.uncolored, g.IncidentEdges(u)...)
+	if len(n.uncolored) == 0 {
+		// Isolated vertex: walk a legal path straight to Done so the
+		// machine invariant (all terminations pass through D) holds.
+		for _, s := range []automaton.State{automaton.Listen, automaton.Respond,
+			automaton.Update, automaton.Exchange, automaton.Done} {
+			n.mach.MustTransition(s)
+		}
+	}
+	return n
+}
+
+func (n *ecNode) ID() int { return n.id }
+
+func (n *ecNode) Done() bool { return n.mach.State() == automaton.Done }
+
+func (n *ecNode) Step(round int, inbox []msg.Message) []msg.Message {
+	if n.Done() {
+		return nil
+	}
+	switch round % ecPhases {
+	case 0:
+		return n.phaseChooseInvite(inbox)
+	case 1:
+		return n.phaseRespond(inbox)
+	default:
+		return n.phaseUpdateExchange(inbox)
+	}
+}
+
+// phaseChooseInvite applies neighbor updates from the previous exchange,
+// runs the C state's coin toss, and broadcasts an invitation if the node
+// became an inviter.
+func (n *ecNode) phaseChooseInvite(inbox []msg.Message) []msg.Message {
+	for _, m := range inbox {
+		if m.Kind != msg.KindUpdate {
+			continue
+		}
+		if i, ok := n.nbrIndex[m.From]; ok {
+			for _, p := range m.Paints {
+				n.usedNbr[i].Add(p.Color)
+			}
+		}
+	}
+	if n.opt.CollectParticipation {
+		n.paired = append(n.paired, false)
+	}
+	// C state: coin toss (line 1.8).
+	if n.r.Bool() {
+		// Inviter: random uncolored edge, lowest available color
+		// (lines 1.10–1.12).
+		n.mach.MustTransition(automaton.Invite)
+		e := n.uncolored[n.r.Intn(len(n.uncolored))]
+		v := n.g.EdgeAt(e).Other(n.id)
+		c := n.proposeColor(n.usedNbr[n.nbrIndex[v]])
+		n.inviteEdge, n.inviteTo, n.inviteColor = e, v, c
+		return []msg.Message{{
+			Kind: msg.KindInvite, From: n.id, To: v, Edge: int(e), Color: c,
+		}}
+	}
+	n.mach.MustTransition(automaton.Listen)
+	return nil
+}
+
+// proposeColor picks the color to propose given the target neighbor's
+// dead list, per the configured rule.
+func (n *ecNode) proposeColor(target *ColorSet) int {
+	if n.opt.ColorRule == RandomAvailable {
+		bound := MaxOf(&n.usedSelf, target) + 2
+		free := FreeBelow(bound, &n.usedSelf, target)
+		return free[n.r.Intn(len(free))] // nonempty: bound exceeds max used
+	}
+	return LowestFree(&n.usedSelf, target)
+}
+
+// phaseRespond handles the L→R side (accept one invitation) and the I→W
+// side (inviters idle while their proposal is in flight).
+func (n *ecNode) phaseRespond(inbox []msg.Message) []msg.Message {
+	if n.mach.State() == automaton.Invite {
+		n.mach.MustTransition(automaton.Wait)
+		return nil
+	}
+	n.mach.MustTransition(automaton.Respond)
+	mine, _ := automaton.SplitInvites(n.id, inbox)
+	// Defensive validation: an invitation is acceptable only if its
+	// color is unused here and its edge is still uncolored. The protocol
+	// invariants guarantee this under reliable delivery (the inviter
+	// proposed from current one-hop knowledge); under injected faults
+	// stale invitations are rejected here.
+	valid := mine[:0:0]
+	for _, m := range mine {
+		if !n.usedSelf.Has(m.Color) && n.isUncolored(graph.EdgeID(m.Edge)) {
+			valid = append(valid, m)
+		} else {
+			n.defensiveRejects++
+		}
+	}
+	if len(valid) == 0 {
+		return nil
+	}
+	// R state: accept one invitation uniformly at random (line 1.21)
+	// and assign the color immediately (line 1.23).
+	m := valid[n.r.Intn(len(valid))]
+	n.assign(graph.EdgeID(m.Edge), m.Color, m.From)
+	return []msg.Message{{
+		Kind: msg.KindResponse, From: n.id, To: m.From, Edge: m.Edge, Color: m.Color,
+	}}
+}
+
+// phaseUpdateExchange closes the round: inviters apply an acceptance if
+// one arrived (W→U), everyone broadcasts newly used colors (U→E), and
+// the machine loops to C or stops at D.
+func (n *ecNode) phaseUpdateExchange(inbox []msg.Message) []msg.Message {
+	switch n.mach.State() {
+	case automaton.Wait:
+		if m, ok, _ := automaton.FindResponse(n.id, int(n.inviteEdge), inbox); ok {
+			if m.From == n.inviteTo && m.Color == n.inviteColor {
+				n.assign(n.inviteEdge, m.Color, m.From)
+			} else {
+				// A response for my edge with mismatched partner or
+				// color cannot occur under the protocol.
+				n.defensiveRejects++
+			}
+		}
+		n.mach.MustTransition(automaton.Update)
+	case automaton.Respond:
+		n.mach.MustTransition(automaton.Update)
+	default:
+		panic(fmt.Sprintf("core: node %d in state %v at update phase", n.id, n.mach.State()))
+	}
+	n.mach.MustTransition(automaton.Exchange)
+
+	var out []msg.Message
+	if len(n.pendingPaints) > 0 {
+		out = []msg.Message{{
+			Kind: msg.KindUpdate, From: n.id, To: msg.Broadcast,
+			Edge: -1, Color: -1, Paints: n.pendingPaints,
+		}}
+		n.pendingPaints = nil
+	}
+	if len(n.uncolored) == 0 {
+		n.mach.MustTransition(automaton.Done)
+	} else {
+		n.mach.MustTransition(automaton.Choose)
+	}
+	return out
+}
+
+// assign colors edge e with c, updating the live/dead bookkeeping and
+// queueing the exchange broadcast.
+func (n *ecNode) assign(e graph.EdgeID, c int, partner int) {
+	if n.opt.CollectParticipation && len(n.paired) > 0 {
+		n.paired[len(n.paired)-1] = true
+	}
+	n.colors[e] = c
+	n.usedSelf.Add(c)
+	if i, ok := n.nbrIndex[partner]; ok {
+		n.usedNbr[i].Add(c) // the partner uses c now too
+	}
+	for i, id := range n.uncolored {
+		if id == e {
+			n.uncolored[i] = n.uncolored[len(n.uncolored)-1]
+			n.uncolored = n.uncolored[:len(n.uncolored)-1]
+			break
+		}
+	}
+	n.pendingPaints = append(n.pendingPaints, msg.Paint{Edge: int(e), Color: c})
+}
+
+func (n *ecNode) isUncolored(e graph.EdgeID) bool {
+	for _, id := range n.uncolored {
+		if id == e {
+			return true
+		}
+	}
+	return false
+}

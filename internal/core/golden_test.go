@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/rng"
+)
+
+// Golden determinism regression: a fixed (graph seed, run seed) pins the
+// exact rounds, colors, and message counts. Any change to random-stream
+// consumption, phase ordering, or message generation shows up here
+// before it silently invalidates the recorded EXPERIMENTS.md numbers.
+// If a change to these values is *intended*, update the constants AND
+// regenerate EXPERIMENTS.md (`go run ./cmd/dimabench -exp all`).
+func TestGoldenDeterminism(t *testing.T) {
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(1), 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 405 || g.MaxDegree() != 16 {
+		t.Fatalf("generator drifted: m=%d Δ=%d, want 405, 16", g.M(), g.MaxDegree())
+	}
+
+	res := mustColorEdges(t, g, Options{Seed: 42})
+	if res.CompRounds != 33 || res.NumColors != 16 || res.Messages != 2254 {
+		t.Fatalf("algorithm 1 drifted: rounds=%d colors=%d msgs=%d, want 33, 16, 2254",
+			res.CompRounds, res.NumColors, res.Messages)
+	}
+
+	d := graph.NewSymmetric(g)
+	sres := mustColorStrong(t, d, Options{Seed: 42})
+	if sres.CompRounds != 111 || sres.NumColors != 123 ||
+		sres.Messages != 13330 || sres.ConflictsDropped != 110 {
+		t.Fatalf("algorithm 2 drifted: rounds=%d colors=%d msgs=%d dropped=%d, want 111, 123, 13330, 110",
+			sres.CompRounds, sres.NumColors, sres.Messages, sres.ConflictsDropped)
+	}
+}

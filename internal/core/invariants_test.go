@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/rng"
+)
+
+// Each node colors at most one incident edge per computation round (the
+// matching property), so the run cannot beat Δ rounds: the max-degree
+// vertex alone needs that many.
+func TestEdgeColorRoundsAtLeastDelta(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := gen.ErdosRenyiAvgDegree(rng.New(seed+500), 100, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mustColorEdges(t, g, Options{Seed: seed})
+		if res.CompRounds < g.MaxDegree() {
+			t.Fatalf("seed %d: %d rounds < Δ = %d breaks the matching property",
+				seed, res.CompRounds, g.MaxDegree())
+		}
+	}
+}
+
+// Broadcast discipline: Algorithm 1 nodes send at most one message per
+// communication round, so total broadcasts are bounded by N × rounds.
+func TestEdgeColorMessageDiscipline(t *testing.T) {
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(510), 120, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustColorEdges(t, g, Options{Seed: 511})
+	bound := int64(g.N()) * int64(res.CommRounds)
+	if res.Messages > bound {
+		t.Fatalf("%d messages exceed N×commRounds = %d", res.Messages, bound)
+	}
+	// And the run cannot be silent: at least one invitation per edge.
+	if res.Messages < int64(g.M()) {
+		t.Fatalf("%d messages below M = %d", res.Messages, g.M())
+	}
+}
+
+// Algorithm 2 nodes send at most two messages per communication round
+// (a decide plus a dead-list delta in the same phase).
+func TestStrongColorMessageDiscipline(t *testing.T) {
+	d := symER(t, 512, 80, 6)
+	res := mustColorStrong(t, d, Options{Seed: 513})
+	bound := 2 * int64(d.N()) * int64(res.CommRounds)
+	if res.Messages > bound {
+		t.Fatalf("%d messages exceed 2×N×commRounds = %d", res.Messages, bound)
+	}
+}
+
+// Arc direction bookkeeping: every arc in the result is colored, and the
+// number of distinct channels at any single vertex's incident arcs
+// equals its incident arc count (all arcs at one vertex mutually
+// conflict).
+func TestStrongColorPerVertexChannelsDistinct(t *testing.T) {
+	d := symER(t, 514, 60, 5)
+	res := mustColorStrong(t, d, Options{Seed: 515})
+	g := d.Under()
+	for u := 0; u < g.N(); u++ {
+		seen := map[int]bool{}
+		count := 0
+		for _, a := range d.OutArcs(u) {
+			for _, arc := range []graph.ArcID{a, d.ReverseOf(a)} {
+				seen[res.Colors[arc]] = true
+				count++
+			}
+		}
+		if len(seen) != count {
+			t.Fatalf("vertex %d: %d distinct channels for %d incident arcs", u, len(seen), count)
+		}
+	}
+}
+
+// Bipartite graphs are class 1 (χ' = Δ, König): the distributed
+// algorithm won't always find a Δ-coloring, but it must stay within the
+// Δ+1 band that Conjecture 2 predicts for typical runs on most seeds.
+func TestEdgeColorBipartiteQuality(t *testing.T) {
+	within := 0
+	const runs = 10
+	for seed := uint64(0); seed < runs; seed++ {
+		g, err := gen.RandomBipartite(rng.New(520+seed), 40, 40, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mustColorEdges(t, g, Options{Seed: seed})
+		if res.NumColors <= g.MaxDegree()+1 {
+			within++
+		}
+	}
+	if within < runs*7/10 {
+		t.Fatalf("only %d of %d bipartite runs within Δ+1", within, runs)
+	}
+}
+
+// The color indices are dense at the bottom: with the lowest-first rule
+// the palette has no holes (every color below MaxColor is used).
+func TestEdgeColorPaletteDense(t *testing.T) {
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(530), 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustColorEdges(t, g, Options{Seed: 531})
+	used := map[int]bool{}
+	for _, c := range res.Colors {
+		used[c] = true
+	}
+	for c := 0; c <= res.MaxColor; c++ {
+		if !used[c] {
+			t.Fatalf("palette hole at color %d (max %d)", c, res.MaxColor)
+		}
+	}
+	if res.NumColors != res.MaxColor+1 {
+		t.Fatalf("NumColors %d != MaxColor+1 %d", res.NumColors, res.MaxColor+1)
+	}
+}
+
+// Cross-endpoint consistency at scale: the same map is assembled from
+// two node-local copies; a disagreement would surface as an error.
+func TestEdgeColorManySeedsNoDisagreement(t *testing.T) {
+	g := gen.Grid(12, 12)
+	for seed := uint64(0); seed < 25; seed++ {
+		if _, err := ColorEdges(g, Options{Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"dima/internal/automaton"
+	"dima/internal/net"
+)
+
+// ColorRule selects how an inviter picks the proposed color.
+type ColorRule int
+
+const (
+	// LowestFirst proposes the lowest color available to both endpoints
+	// per the inviter's one-hop knowledge — the paper's rule (line
+	// 1.11). It concentrates color reuse at small indices, which is what
+	// keeps the total palette near Δ (Conjecture 2).
+	LowestFirst ColorRule = iota
+	// RandomAvailable proposes a uniformly random available color from a
+	// bounded window. This is the ablation arm for Conjecture 2: it
+	// reduces same-round proposal collisions but scatters the palette.
+	RandomAvailable
+)
+
+func (r ColorRule) String() string {
+	switch r {
+	case LowestFirst:
+		return "lowest-first"
+	case RandomAvailable:
+		return "random-available"
+	}
+	return "unknown"
+}
+
+// Options configures a run of either algorithm. The zero value is a
+// valid default configuration (deterministic seed 0, sequential engine,
+// the paper's color rule and overhearing filter).
+type Options struct {
+	// Seed determines every random choice of the run. Runs with equal
+	// seeds and inputs are identical, on either engine.
+	Seed uint64
+	// Engine executes the protocol; nil means net.RunSync. net.RunChan
+	// runs one goroutine per vertex.
+	Engine net.Engine
+	// MaxCompRounds bounds the number of computation rounds; 0 means
+	// 100,000. Hitting the bound yields Terminated == false.
+	MaxCompRounds int
+	// ColorRule selects the proposal rule; default LowestFirst (paper).
+	ColorRule ColorRule
+	// DisableOverhearFilter turns off the paper's Procedure 2-b fast
+	// path in Algorithm 2 (responders rejecting invitations whose color
+	// collides with overheard invitations). Correctness is unaffected —
+	// the claim/confirm exchange still resolves conflicts — but more
+	// doomed claims reach the confirm stage.
+	DisableOverhearFilter bool
+	// UnsafeNoConfirm disables Algorithm 2's claim/confirm exchange,
+	// reverting to the paper's uncorrected protocol in which same-round
+	// colorings are finalized immediately. Strong colorings produced
+	// this way can be invalid; the option exists for the ablation
+	// experiments and adversarial tests.
+	UnsafeNoConfirm bool
+	// Hook observes every automaton transition of every node.
+	Hook automaton.Hook
+	// Fault optionally drops message deliveries (see net.FaultInjector).
+	// The paper's model assumes reliable delivery; with faults enabled
+	// runs may fail to terminate and are truncated at MaxCompRounds.
+	Fault net.FaultInjector
+	// CollectParticipation enables per-computation-round participation
+	// counters (Result.Participation), used to measure the pairing
+	// probability of the paper's Proposition 1 / Equation (1).
+	CollectParticipation bool
+}
+
+// Participation counts, for one computation round, how many nodes were
+// still active and how many of them formed a pair (colored an edge or
+// finalized an arc).
+type Participation struct {
+	Active, Paired int
+}
+
+const defaultMaxCompRounds = 100_000
+
+func (o *Options) engine() net.Engine {
+	if o.Engine == nil {
+		return net.RunSync
+	}
+	return o.Engine
+}
+
+func (o *Options) maxCompRounds() int {
+	if o.MaxCompRounds <= 0 {
+		return defaultMaxCompRounds
+	}
+	return o.MaxCompRounds
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Colors maps graph.EdgeID (ColorEdges) or graph.ArcID (ColorStrong)
+	// to the assigned color. All entries are >= 0 when Terminated.
+	Colors []int
+	// NumColors is the number of distinct colors used.
+	NumColors int
+	// MaxColor is the largest color index used, or -1 if none.
+	MaxColor int
+	// CompRounds is the number of computation rounds (full automaton
+	// cycles) executed — the unit of the paper's O(Δ) bounds.
+	CompRounds int
+	// CommRounds is the number of communication rounds (3 per
+	// computation round for Algorithm 1, 4 for Algorithm 2).
+	CommRounds int
+	// Messages, Deliveries, and Bytes aggregate traffic (see net.Result).
+	Messages, Deliveries, Bytes int64
+	// Terminated reports whether every node finished within the bound.
+	Terminated bool
+	// DefensiveRejects counts responder-side validity rejections. The
+	// protocol invariants make these impossible under reliable delivery;
+	// a nonzero count under faults shows the defense working.
+	DefensiveRejects int
+	// ConflictsDropped counts tentative claims withdrawn by Algorithm
+	// 2's confirm exchange (always 0 for Algorithm 1).
+	ConflictsDropped int
+	// HalfColored counts edges (or arcs) that exactly one endpoint
+	// believes colored — possible only when message deliveries are
+	// dropped, and the mechanism behind the conflicts the paper's
+	// reliable-delivery assumption rules out. Always 0 without faults.
+	HalfColored int
+	// Participation holds per-computation-round activity counters when
+	// Options.CollectParticipation is set (nil otherwise).
+	Participation []Participation
+}
+
+// aggregateParticipation folds per-node pairing logs into per-round
+// counters. pairedOf(u) returns node u's log: one entry per computation
+// round u was active in.
+func aggregateParticipation(rounds int, pairedOf func(u int) []bool, n int) []Participation {
+	out := make([]Participation, rounds)
+	for u := 0; u < n; u++ {
+		log := pairedOf(u)
+		for r, p := range log {
+			if r >= rounds {
+				break
+			}
+			out[r].Active++
+			if p {
+				out[r].Paired++
+			}
+		}
+	}
+	return out
+}
+
+// countColors fills NumColors and MaxColor from Colors, ignoring
+// unassigned (-1) entries.
+func (res *Result) countColors() {
+	var seen ColorSet
+	res.MaxColor = -1
+	for _, c := range res.Colors {
+		if c < 0 {
+			continue
+		}
+		seen.Add(c)
+		if c > res.MaxColor {
+			res.MaxColor = c
+		}
+	}
+	res.NumColors = seen.Count()
+}

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"fmt"
+
+	"dima/internal/automaton"
+	"dima/internal/graph"
+	"dima/internal/msg"
+	"dima/internal/net"
+	"dima/internal/rng"
+)
+
+// scPhases is the number of communication rounds per computation round
+// of Algorithm 2: invitations, responses, and the two exchange
+// sub-rounds (tentative claims, keep/drop decisions).
+const scPhases = 4
+
+// ColorStrong runs Algorithm 2 (DiMa2Ed), the distributed strong
+// (distance-2) directed edge coloring, on the symmetric digraph d.
+//
+// One negotiation colors one arc: an inviter u picks a random uncolored
+// outgoing arc (u,v) and a channel available in its closed neighborhood;
+// the responder v accepts only if the channel is also available in v's
+// closed neighborhood and (per the paper's Procedure 2-b) does not
+// collide with overheard invitations. Together the two views cover every
+// arc within distance 1 of (u,v) that was colored in earlier rounds.
+//
+// Same-round collisions are resolved by the claim/confirm exchange (the
+// correction described in DESIGN.md): tentative pairs broadcast claims;
+// any claimant that hears a conflicting same-color claim of higher
+// priority withdraws; endpoints finalize only if both kept. Setting
+// Options.UnsafeNoConfirm reverts to the paper's uncorrected behavior.
+func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
+	g := d.Under()
+	base := rng.New(opt.Seed)
+	nodes := make([]net.Node, g.N())
+	scs := make([]*scNode, g.N())
+	for u := 0; u < g.N(); u++ {
+		scs[u] = newSCNode(d, u, base.Derive(uint64(u)), &opt)
+		nodes[u] = scs[u]
+	}
+	netRes, err := opt.engine()(g, nodes, net.Config{
+		MaxRounds: scPhases * opt.maxCompRounds(),
+		Fault:     opt.Fault,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Colors:     make([]int, d.A()),
+		CommRounds: netRes.Rounds,
+		CompRounds: (netRes.Rounds + scPhases - 1) / scPhases,
+		Messages:   netRes.Messages,
+		Deliveries: netRes.Deliveries,
+		Bytes:      netRes.Bytes,
+		Terminated: netRes.Terminated,
+	}
+	for i := range res.Colors {
+		res.Colors[i] = -1
+	}
+	endpoints := make([]int8, d.A())
+	for _, n := range scs {
+		res.DefensiveRejects += n.defensiveRejects
+		res.ConflictsDropped += n.conflictsDropped
+		for a, c := range n.colors {
+			endpoints[a]++
+			if res.Colors[a] == -1 {
+				res.Colors[a] = c
+			} else if res.Colors[a] != c {
+				return nil, fmt.Errorf("core: arc %v colored %d and %d by its endpoints",
+					d.ArcAt(a), res.Colors[a], c)
+			}
+		}
+	}
+	for _, k := range endpoints {
+		if k == 1 {
+			res.HalfColored++
+		}
+	}
+	if opt.CollectParticipation {
+		res.Participation = aggregateParticipation(res.CompRounds, func(u int) []bool {
+			return scs[u].paired
+		}, g.N())
+	}
+	if res.Terminated {
+		for a, c := range res.Colors {
+			if c < 0 {
+				return nil, fmt.Errorf("core: terminated with uncolored arc %v", d.ArcAt(graph.ArcID(a)))
+			}
+		}
+	}
+	res.countColors()
+	return res, nil
+}
+
+// scClaim is a tentative pairing awaiting the confirm exchange.
+type scClaim struct {
+	arc      graph.ArcID
+	color    int
+	partner  int
+	keep     bool
+	roundIdx int // index into the participation log (-1 when disabled)
+}
+
+// scNode is one vertex of Algorithm 2.
+type scNode struct {
+	id   int
+	d    *graph.Digraph
+	opt  *Options
+	r    *rng.Rand
+	mach *automaton.Machine
+
+	colors       map[graph.ArcID]int // colors of incident arcs (both directions)
+	uncoloredOut []graph.ArcID       // outgoing arcs not yet colored
+	remaining    int                 // incident arcs (in+out) still uncolored
+	colorsAt     []*ColorSet         // colorsAt[i]: colors on arcs incident to Neighbors(u)[i]
+	colorsSelf   ColorSet            // colors on arcs incident to u itself
+	nbrIndex     map[int]int
+
+	// Dead-list relay: the E state exchanges each node's *color list* —
+	// the channels no longer usable for it, which already aggregates its
+	// one-hop knowledge. Relaying the list gives each inviter a view of
+	// the responder's forbidden set through one-hop messages only
+	// (Algorithm 2 lines 2.23–2.24 and Procedure 2-c).
+	deadNbr   []*ColorSet // deadNbr[i]: colors Neighbors(u)[i] announced as dead for itself
+	announced ColorSet    // colors this node has already announced dead
+	deadQueue []int       // newly dead colors awaiting the next exchange
+
+	// In-flight invitation (valid in I/W).
+	inviteArc   graph.ArcID
+	inviteTo    int
+	inviteColor int
+
+	// attempts counts failed invitations per outgoing arc. The responder
+	// may hold forbidden colors the inviter cannot see (used by the
+	// responder's other neighbors), so a fixed lowest-free proposal can
+	// be rejected forever. After a failure the proposal is drawn
+	// uniformly from a window that grows with the attempt count, which
+	// makes every arc colorable with probability 1. Procedure 2-a only
+	// requires "an open channel", so this selection rule is a faithful
+	// refinement (see DESIGN.md).
+	attempts map[graph.ArcID]int
+
+	claim *scClaim // tentative pairing this round, nil if none
+
+	defensiveRejects int
+	conflictsDropped int
+
+	// Participation log (Options.CollectParticipation): one entry per
+	// computation round this node was active in; true if a claim formed
+	// in that round was finalized.
+	paired []bool
+}
+
+func newSCNode(d *graph.Digraph, u int, r *rng.Rand, opt *Options) *scNode {
+	g := d.Under()
+	n := &scNode{
+		id:        u,
+		d:         d,
+		opt:       opt,
+		r:         r,
+		mach:      automaton.NewMachine(u, opt.Hook),
+		colors:    make(map[graph.ArcID]int, 2*g.Degree(u)),
+		remaining: 2 * g.Degree(u),
+		colorsAt:  make([]*ColorSet, g.Degree(u)),
+		nbrIndex:  make(map[int]int, g.Degree(u)),
+		attempts:  make(map[graph.ArcID]int),
+	}
+	n.deadNbr = make([]*ColorSet, g.Degree(u))
+	for i, v := range g.Neighbors(u) {
+		n.colorsAt[i] = &ColorSet{}
+		n.deadNbr[i] = &ColorSet{}
+		n.nbrIndex[v] = i
+	}
+	n.uncoloredOut = append(n.uncoloredOut, d.OutArcs(u)...)
+	if n.remaining == 0 {
+		for _, s := range []automaton.State{automaton.Listen, automaton.Respond,
+			automaton.Update, automaton.Exchange, automaton.Done} {
+			n.mach.MustTransition(s)
+		}
+	}
+	return n
+}
+
+func (n *scNode) ID() int { return n.id }
+
+func (n *scNode) Done() bool { return n.mach.State() == automaton.Done }
+
+func (n *scNode) Step(round int, inbox []msg.Message) []msg.Message {
+	if n.Done() {
+		return nil
+	}
+	switch round % scPhases {
+	case 0:
+		return n.phaseChooseInvite(round/scPhases, inbox)
+	case 1:
+		return n.phaseRespond(inbox)
+	case 2:
+		return n.phaseClaim(inbox)
+	default:
+		return n.phaseDecide(round/scPhases, inbox)
+	}
+}
+
+// forbidden returns the color sets whose union covers every color used
+// on arcs within u's closed neighborhood — u's half of the distance-1
+// conflict set of any arc incident to u.
+func (n *scNode) forbidden() []*ColorSet {
+	sets := make([]*ColorSet, 0, len(n.colorsAt)+1)
+	sets = append(sets, &n.colorsSelf)
+	sets = append(sets, n.colorsAt...)
+	return sets
+}
+
+// phaseChooseInvite finalizes the previous round's claims from the
+// decide broadcasts, then runs the coin toss and invitation.
+func (n *scNode) phaseChooseInvite(compRound int, inbox []msg.Message) []msg.Message {
+	n.applyDecides(inbox)
+	// The machine is in C at every phase-0 entry (the constructor starts
+	// there; phaseDecide loops back). A node whose last arc was just
+	// finalized idles through one final cycle as a listener and
+	// transitions to D at the round's end, matching the paper's E-state
+	// rule that finished nodes transfer to Done.
+	if n.remaining == 0 {
+		n.mach.MustTransition(automaton.Listen)
+		return nil
+	}
+	if n.opt.CollectParticipation {
+		n.paired = append(n.paired, false)
+	}
+	// Coin toss; a node with no uncolored outgoing arcs has nothing to
+	// invite on and always listens (its remaining incoming arcs are
+	// colored when the respective neighbors invite).
+	if n.r.Bool() && len(n.uncoloredOut) > 0 {
+		n.mach.MustTransition(automaton.Invite)
+		a := n.uncoloredOut[n.r.Intn(len(n.uncoloredOut))]
+		v := n.d.ArcAt(a).To
+		c := n.proposeColor(a, v)
+		n.attempts[a]++
+		n.inviteArc, n.inviteTo, n.inviteColor = a, v, c
+		return []msg.Message{{
+			Kind: msg.KindInvite, From: n.id, To: v, Edge: int(a), Color: c,
+		}}
+	}
+	n.mach.MustTransition(automaton.Listen)
+	return nil
+}
+
+// proposeColor picks the channel to propose for arc a, targeted at
+// neighbor v: it must be free in this node's closed neighborhood and, as
+// far as the relayed dead lists tell, usable by v. The first attempt
+// uses the lowest such channel (keeping the palette compact); each
+// fourth failed attempt widens a uniform-random window, guaranteeing
+// eventual overlap with the responder's true free set even while relay
+// updates are in flight. Under the RandomAvailable rule every attempt is
+// randomized.
+func (n *scNode) proposeColor(a graph.ArcID, v int) int {
+	sets := append(n.forbidden(), n.deadNbr[n.nbrIndex[v]])
+	// Most invitation failures are benign (the target was not listening
+	// or chose another suitor), and on average an arc needs ~4 attempts
+	// even without channel disagreement, so the window widens only every
+	// fourth failure. Until then the lowest free channel keeps the
+	// palette compact.
+	widen := n.attempts[a] / 4
+	if widen == 0 && n.opt.ColorRule == LowestFirst {
+		return LowestFree(sets...)
+	}
+	bound := MaxOf(sets...) + 2 + widen
+	free := FreeBelow(bound, sets...)
+	return free[n.r.Intn(len(free))] // nonempty: bound exceeds max used
+}
+
+// applyDecides processes the keep/drop broadcasts of the previous
+// round's confirm exchange: finalizes the node's own claim if both
+// endpoints kept it, and folds neighbors' kept claims into the one-hop
+// color knowledge.
+func (n *scNode) applyDecides(inbox []msg.Message) {
+	var partnerKeep, partnerSeen bool
+	for _, m := range inbox {
+		if m.Kind == msg.KindUpdate {
+			// A neighbor's dead-list delta: channels no longer usable
+			// for it (relayed one-hop knowledge).
+			if i, ok := n.nbrIndex[m.From]; ok {
+				for _, p := range m.Paints {
+					n.deadNbr[i].Add(p.Color)
+				}
+			}
+			continue
+		}
+		if m.Kind != msg.KindDecide {
+			continue
+		}
+		if n.claim != nil && m.From == n.claim.partner && graph.ArcID(m.Edge) == n.claim.arc {
+			partnerKeep, partnerSeen = m.Keep, true
+		}
+		// One-hop knowledge: a neighbor that kept a claim is treated as
+		// using that color. If its partner dropped the claim this
+		// over-approximates, which can only make future proposals more
+		// conservative — never incorrect (see DESIGN.md).
+		if m.Keep {
+			if i, ok := n.nbrIndex[m.From]; ok {
+				n.addColorAt(i, m.Color)
+			}
+		}
+	}
+	if n.claim == nil {
+		return
+	}
+	cl := n.claim
+	n.claim = nil
+	if !cl.keep {
+		n.conflictsDropped++
+		return
+	}
+	if !partnerSeen || !partnerKeep {
+		// Partner withdrew (or, under injected faults, its decision was
+		// lost): the arc stays uncolored and is retried.
+		n.conflictsDropped++
+		return
+	}
+	if cl.roundIdx >= 0 && cl.roundIdx < len(n.paired) {
+		n.paired[cl.roundIdx] = true
+	}
+	n.finalize(cl.arc, cl.color)
+}
+
+// partIdx returns the current participation-log index (-1 if logging is
+// disabled).
+func (n *scNode) partIdx() int { return len(n.paired) - 1 }
+
+// addColorAt records that neighbor i has color c on an incident arc,
+// which also kills c for this node.
+func (n *scNode) addColorAt(i, c int) {
+	n.colorsAt[i].Add(c)
+	n.markDead(c)
+}
+
+// markDead queues color c for the dead-list exchange if it just became
+// unusable for this node.
+func (n *scNode) markDead(c int) {
+	if !n.announced.Has(c) {
+		n.announced.Add(c)
+		n.deadQueue = append(n.deadQueue, c)
+	}
+}
+
+// finalize records the color of an incident arc.
+func (n *scNode) finalize(a graph.ArcID, c int) {
+	if _, dup := n.colors[a]; dup {
+		n.defensiveRejects++
+		return
+	}
+	n.colors[a] = c
+	n.colorsSelf.Add(c)
+	n.markDead(c)
+	n.remaining--
+	delete(n.attempts, a)
+	for i, id := range n.uncoloredOut {
+		if id == a {
+			n.uncoloredOut[i] = n.uncoloredOut[len(n.uncoloredOut)-1]
+			n.uncoloredOut = n.uncoloredOut[:len(n.uncoloredOut)-1]
+			break
+		}
+	}
+}
+
+// phaseRespond: listeners evaluate invitations (Procedure 2-b) and
+// respond to at most one; inviters move to W.
+func (n *scNode) phaseRespond(inbox []msg.Message) []msg.Message {
+	if n.mach.State() == automaton.Invite {
+		n.mach.MustTransition(automaton.Wait)
+		return nil
+	}
+	n.mach.MustTransition(automaton.Respond)
+	mine, others := automaton.SplitInvites(n.id, inbox)
+	// A proposed channel is acceptable only if it is free in this node's
+	// closed neighborhood. Any invitation overheard from a neighbor is
+	// connected to this node's arcs by the link it arrived on, so — per
+	// Procedure 2-b — a color collision with an overheard invitation
+	// disqualifies an invitation addressed here.
+	sets := n.forbidden()
+	valid := mine[:0:0]
+	for _, m := range mine {
+		a := graph.ArcID(m.Edge)
+		if _, already := n.colors[a]; already || n.d.ArcAt(a).To != n.id {
+			n.defensiveRejects++
+			continue
+		}
+		// A channel forbidden in this node's closed neighborhood is a
+		// normal Procedure 2-b rejection, not a protocol anomaly: the
+		// inviter cannot see colors held by this node's other neighbors.
+		bad := false
+		for _, s := range sets {
+			if s.Has(m.Color) {
+				bad = true
+				break
+			}
+		}
+		if !n.opt.DisableOverhearFilter {
+			for _, o := range others {
+				if o.Color == m.Color {
+					bad = true
+					break
+				}
+			}
+		}
+		if !bad {
+			valid = append(valid, m)
+		}
+	}
+	if len(valid) == 0 {
+		return nil
+	}
+	m := valid[n.r.Intn(len(valid))]
+	n.claim = &scClaim{arc: graph.ArcID(m.Edge), color: m.Color, partner: m.From, keep: true, roundIdx: n.partIdx()}
+	return []msg.Message{{
+		Kind: msg.KindResponse, From: n.id, To: m.From, Edge: m.Edge, Color: m.Color,
+	}}
+}
+
+// phaseClaim: inviters look for an acceptance; both members of each
+// tentative pair broadcast a claim (first exchange sub-round). Under
+// UnsafeNoConfirm pairs finalize immediately, as in the paper, and
+// broadcast a plain color update instead.
+func (n *scNode) phaseClaim(inbox []msg.Message) []msg.Message {
+	switch n.mach.State() {
+	case automaton.Wait:
+		if m, ok, _ := automaton.FindResponse(n.id, int(n.inviteArc), inbox); ok {
+			if m.From == n.inviteTo && m.Color == n.inviteColor {
+				n.claim = &scClaim{arc: n.inviteArc, color: n.inviteColor, partner: n.inviteTo, keep: true, roundIdx: n.partIdx()}
+			} else {
+				n.defensiveRejects++
+			}
+		}
+		n.mach.MustTransition(automaton.Update)
+	case automaton.Respond:
+		n.mach.MustTransition(automaton.Update)
+	default:
+		panic(fmt.Sprintf("core: node %d in state %v at claim phase", n.id, n.mach.State()))
+	}
+	n.mach.MustTransition(automaton.Exchange)
+	if n.claim == nil {
+		return nil
+	}
+	if n.opt.UnsafeNoConfirm {
+		cl := n.claim
+		n.claim = nil
+		if cl.roundIdx >= 0 && cl.roundIdx < len(n.paired) {
+			n.paired[cl.roundIdx] = true
+		}
+		n.finalize(cl.arc, cl.color)
+		return []msg.Message{{
+			Kind: msg.KindUpdate, From: n.id, To: msg.Broadcast, Edge: -1, Color: -1,
+			Paints: []msg.Paint{{Edge: int(cl.arc), Color: cl.color}},
+		}}
+	}
+	return []msg.Message{{
+		Kind: msg.KindClaim, From: n.id, To: msg.Broadcast,
+		Edge: int(n.claim.arc), Color: n.claim.color,
+	}}
+}
+
+// phaseDecide: second exchange sub-round. Each claimant withdraws if it
+// heard a conflicting claim of higher priority; every claim heard from a
+// neighbor with the same color conflicts, because the link it was heard
+// on connects the two arcs (Definition 2).
+func (n *scNode) phaseDecide(compRound int, inbox []msg.Message) []msg.Message {
+	defer func() {
+		if n.remaining == 0 && n.claim == nil {
+			n.mach.MustTransition(automaton.Done)
+		} else {
+			n.mach.MustTransition(automaton.Choose)
+		}
+	}()
+	if n.opt.UnsafeNoConfirm {
+		// Ablation arm: fold finalized updates into one-hop knowledge.
+		for _, m := range inbox {
+			if m.Kind != msg.KindUpdate {
+				continue
+			}
+			if i, ok := n.nbrIndex[m.From]; ok {
+				for _, p := range m.Paints {
+					n.addColorAt(i, p.Color)
+				}
+			}
+		}
+		return n.deadListDelta()
+	}
+	if n.claim == nil {
+		return n.deadListDelta()
+	}
+	myPrio := claimPriority(compRound, n.claim.arc)
+	for _, m := range inbox {
+		if m.Kind != msg.KindClaim || graph.ArcID(m.Edge) == n.claim.arc || m.Color != n.claim.color {
+			continue
+		}
+		p := claimPriority(compRound, graph.ArcID(m.Edge))
+		if p < myPrio || (p == myPrio && m.Edge < int(n.claim.arc)) {
+			n.claim.keep = false
+			break
+		}
+	}
+	return append(n.deadListDelta(), msg.Message{
+		Kind: msg.KindDecide, From: n.id, To: msg.Broadcast,
+		Edge: int(n.claim.arc), Color: n.claim.color, Keep: n.claim.keep,
+	})
+}
+
+// deadListDelta drains the queue of newly dead channels into an exchange
+// broadcast (nil if nothing changed) — the UPDATECOLORS step.
+func (n *scNode) deadListDelta() []msg.Message {
+	if len(n.deadQueue) == 0 {
+		return nil
+	}
+	paints := make([]msg.Paint, len(n.deadQueue))
+	for i, c := range n.deadQueue {
+		paints[i] = msg.Paint{Edge: -1, Color: c}
+	}
+	n.deadQueue = n.deadQueue[:0]
+	return []msg.Message{{
+		Kind: msg.KindUpdate, From: n.id, To: msg.Broadcast,
+		Edge: -1, Color: -1, Paints: paints,
+	}}
+}
+
+// claimPriority orders same-color claims deterministically; both
+// endpoints of each claim and every observer compute the same value from
+// the round number and arc id alone. The round term rotates priorities
+// so no arc is starved systematically.
+func claimPriority(compRound int, a graph.ArcID) uint64 {
+	return rng.Mix64(uint64(compRound)<<32 ^ uint64(a))
+}

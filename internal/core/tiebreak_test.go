@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"dima/internal/gen"
+	"dima/internal/graph"
+)
+
+// Adversarial tie-break stress: run strong coloring on graphs engineered
+// for heavy same-round collisions (complete bipartite: many disjoint
+// pairs, all mutually conflicting) across many seeds. Any asymmetric
+// tie-break would surface as an endpoint disagreement or a distance-2
+// violation via mustColorStrong.
+func TestStrongColorTieBreakStress(t *testing.T) {
+	g := graph.New(12)
+	for u := 0; u < 6; u++ {
+		for v := 6; v < 12; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	for seed := uint64(0); seed < 15; seed++ {
+		d := graph.NewSymmetric(g)
+		mustColorStrong(t, d, Options{Seed: seed})
+	}
+	// And on a long cycle, where conflicts chain: A~B~C same-color
+	// cascades exercise the "drop iff any lower-priority conflicting
+	// claim" rule's convergence.
+	for seed := uint64(0); seed < 15; seed++ {
+		d := graph.NewSymmetric(gen.Cycle(30))
+		mustColorStrong(t, d, Options{Seed: seed})
+	}
+}

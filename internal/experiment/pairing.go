@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dima/internal/core"
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/rng"
+	"dima/internal/stats"
+)
+
+// PairingPoint is the aggregate participation of one computation round
+// across all repetitions of a pairing-probability probe.
+type PairingPoint struct {
+	Round  int
+	Active int
+	Paired int
+}
+
+// Rate returns paired/active (0 if no one was active).
+func (p PairingPoint) Rate() float64 {
+	if p.Active == 0 {
+		return 0
+	}
+	return float64(p.Paired) / float64(p.Active)
+}
+
+// PairingProbability measures the per-round probability that an active
+// node forms a pair — the empirical counterpart of Proposition 1's
+// Equation (1), which lower-bounds it by 1/4 for Algorithm 1. It runs
+// reps Erdős–Rényi instances (n vertices, given average degree) and
+// aggregates participation round by round; strong selects Algorithm 2.
+func PairingProbability(seed uint64, n int, deg float64, reps int, strong bool) ([]PairingPoint, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("experiment: pairing probe needs repetitions")
+	}
+	base := rng.New(seed)
+	var points []PairingPoint
+	for rep := 0; rep < reps; rep++ {
+		r := base.Derive(uint64(rep))
+		g, err := gen.ErdosRenyiAvgDegree(r, n, deg)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.Options{Seed: r.Uint64(), CollectParticipation: true}
+		var res *core.Result
+		if strong {
+			res, err = core.ColorStrong(graph.NewSymmetric(g), opt)
+		} else {
+			res, err = core.ColorEdges(g, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !res.Terminated {
+			return nil, fmt.Errorf("experiment: pairing probe run truncated")
+		}
+		for i, p := range res.Participation {
+			for len(points) <= i {
+				points = append(points, PairingPoint{Round: len(points)})
+			}
+			points[i].Active += p.Active
+			points[i].Paired += p.Paired
+		}
+	}
+	return points, nil
+}
+
+// PairingTable renders the curve, bucketing rounds so the table stays
+// readable for long runs.
+func PairingTable(points []PairingPoint, bucket int) *stats.Table {
+	if bucket < 1 {
+		bucket = 1
+	}
+	t := stats.NewTable("rounds", "active (mean)", "paired (mean)", "pair rate")
+	for lo := 0; lo < len(points); lo += bucket {
+		hi := lo + bucket
+		if hi > len(points) {
+			hi = len(points)
+		}
+		var active, paired int
+		for _, p := range points[lo:hi] {
+			active += p.Active
+			paired += p.Paired
+		}
+		label := fmt.Sprintf("%d-%d", lo, hi-1)
+		if hi-lo == 1 {
+			label = fmt.Sprintf("%d", lo)
+		}
+		rate := 0.0
+		if active > 0 {
+			rate = float64(paired) / float64(active)
+		}
+		t.AddRow(label, float64(active)/float64(hi-lo), float64(paired)/float64(hi-lo), rate)
+	}
+	return t
+}

@@ -1,0 +1,120 @@
+package graph
+
+import "testing"
+
+func TestDigraphBasics(t *testing.T) {
+	d := NewSymmetric(path3()) // 0-1-2
+	if d.N() != 3 || d.A() != 4 {
+		t.Fatalf("N=%d A=%d", d.N(), d.A())
+	}
+	if d.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %d", d.MaxDegree())
+	}
+}
+
+func TestArcAtAndReverse(t *testing.T) {
+	d := NewSymmetric(path3())
+	a0 := d.ArcAt(0)
+	if a0 != (Arc{0, 1}) {
+		t.Fatalf("arc 0 = %v", a0)
+	}
+	a1 := d.ArcAt(1)
+	if a1 != (Arc{1, 0}) {
+		t.Fatalf("arc 1 = %v", a1)
+	}
+	if d.ReverseOf(0) != 1 || d.ReverseOf(1) != 0 {
+		t.Fatal("ReverseOf wrong for pair 0/1")
+	}
+	if d.ReverseOf(2) != 3 {
+		t.Fatal("ReverseOf wrong for pair 2/3")
+	}
+	if a0.Reverse() != a1 {
+		t.Fatal("Arc.Reverse wrong")
+	}
+}
+
+func TestArcIDOf(t *testing.T) {
+	d := NewSymmetric(path3())
+	for id := ArcID(0); id < ArcID(d.A()); id++ {
+		a := d.ArcAt(id)
+		got, ok := d.ArcIDOf(a.From, a.To)
+		if !ok || got != id {
+			t.Fatalf("ArcIDOf(%v) = %d,%v want %d", a, got, ok, id)
+		}
+	}
+	if _, ok := d.ArcIDOf(0, 2); ok {
+		t.Fatal("ArcIDOf found nonexistent arc")
+	}
+}
+
+func TestOutInArcs(t *testing.T) {
+	d := NewSymmetric(path3())
+	out := d.OutArcs(1)
+	if len(out) != 2 {
+		t.Fatalf("OutArcs(1) = %v", out)
+	}
+	for _, id := range out {
+		if a := d.ArcAt(id); a.From != 1 {
+			t.Fatalf("out arc %v does not leave 1", a)
+		}
+	}
+	in := d.InArcs(1)
+	for _, id := range in {
+		if a := d.ArcAt(id); a.To != 1 {
+			t.Fatalf("in arc %v does not enter 1", a)
+		}
+	}
+	// Alignment with Neighbors.
+	nbrs := d.Under().Neighbors(1)
+	for i, id := range out {
+		if d.ArcAt(id).To != nbrs[i] {
+			t.Fatal("OutArcs not aligned with Neighbors")
+		}
+	}
+}
+
+func TestEdgeOf(t *testing.T) {
+	d := NewSymmetric(path3())
+	if d.EdgeOf(0) != 0 || d.EdgeOf(1) != 0 || d.EdgeOf(2) != 1 || d.EdgeOf(3) != 1 {
+		t.Fatal("EdgeOf mapping wrong")
+	}
+}
+
+func TestArcsConflict(t *testing.T) {
+	// Path 0-1-2-3-4.
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	d := NewSymmetric(g)
+
+	arc := func(f, to int) ArcID {
+		id, ok := d.ArcIDOf(f, to)
+		if !ok {
+			t.Fatalf("missing arc %d->%d", f, to)
+		}
+		return id
+	}
+
+	// An arc conflicts with its reverse (Definition 2: e(u,v) vs e(v,u)).
+	if !d.ArcsConflict(arc(0, 1), arc(1, 0)) {
+		t.Fatal("arc must conflict with its reverse")
+	}
+	// Adjacent arcs conflict.
+	if !d.ArcsConflict(arc(0, 1), arc(1, 2)) {
+		t.Fatal("adjacent arcs must conflict")
+	}
+	// Arcs joined by one edge conflict: (0,1) and (2,3) joined by (1,2).
+	if !d.ArcsConflict(arc(0, 1), arc(2, 3)) {
+		t.Fatal("arcs joined by a common edge must conflict")
+	}
+	// Arcs at distance 2 do not conflict: (0,1) and (3,4).
+	if d.ArcsConflict(arc(0, 1), arc(3, 4)) {
+		t.Fatal("distant arcs must not conflict")
+	}
+	// No self-conflict.
+	if d.ArcsConflict(arc(0, 1), arc(0, 1)) {
+		t.Fatal("arc conflicts with itself")
+	}
+}

@@ -1,0 +1,265 @@
+// Package graph provides the graph substrate for the dima simulator:
+// simple undirected graphs with stable edge identifiers, and symmetric
+// digraphs derived from them for the strong (distance-2) edge coloring
+// algorithm.
+//
+// Vertices are dense integers [0, N). Each undirected edge carries a
+// stable EdgeID assigned in insertion order; the strong-coloring
+// algorithm works on arcs (directed edges), each with a stable ArcID.
+// All query methods are read-only and safe for concurrent use once the
+// graph has been built.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeID identifies an undirected edge within a Graph.
+type EdgeID int
+
+// Edge is an undirected edge with normalized endpoints U < V.
+type Edge struct {
+	U, V int
+}
+
+// Norm returns e with endpoints ordered so that U < V.
+func (e Edge) Norm() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not w. It panics if w is not an
+// endpoint of e.
+func (e Edge) Other(w int) int {
+	switch w {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d not an endpoint of %v", w, e))
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is a simple undirected graph. Build it with New and AddEdge;
+// afterwards it is immutable by convention and safe for concurrent reads.
+type Graph struct {
+	n     int
+	adj   [][]int    // adj[u] = sorted-by-insertion neighbor list
+	inc   [][]EdgeID // inc[u][i] = id of edge (u, adj[u][i])
+	edges []Edge     // edges[id] = normalized endpoints
+	index map[Edge]EdgeID
+}
+
+// New returns an empty graph on n vertices. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{
+		n:     n,
+		adj:   make([][]int, n),
+		inc:   make([][]EdgeID, n),
+		index: make(map[Edge]EdgeID),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u, v} and returns its id.
+// Self-loops, duplicate edges, and out-of-range endpoints are errors.
+func (g *Graph) AddEdge(u, v int) (EdgeID, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return -1, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return -1, fmt.Errorf("graph: self-loop at %d", u)
+	}
+	e := Edge{u, v}.Norm()
+	if _, dup := g.index[e]; dup {
+		return -1, fmt.Errorf("graph: duplicate edge %v", e)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, e)
+	g.index[e] = id
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.inc[u] = append(g.inc[u], id)
+	g.inc[v] = append(g.inc[v], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for tests and generators
+// whose construction logic guarantees validity.
+func (g *Graph) MustAddEdge(u, v int) EdgeID {
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	_, ok := g.index[Edge{u, v}.Norm()]
+	return ok
+}
+
+// EdgeIDOf returns the id of edge {u, v}.
+func (g *Graph) EdgeIDOf(u, v int) (EdgeID, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return -1, false
+	}
+	id, ok := g.index[Edge{u, v}.Norm()]
+	return id, ok
+}
+
+// EdgeAt returns the endpoints of edge id.
+func (g *Graph) EdgeAt(id EdgeID) Edge {
+	return g.edges[id]
+}
+
+// Edges returns the edge list indexed by EdgeID. The caller must not
+// modify the returned slice.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Neighbors returns u's neighbor list in insertion order. The caller must
+// not modify the returned slice.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// IncidentEdges returns the ids of edges incident to u, aligned with
+// Neighbors(u): IncidentEdges(u)[i] is the edge to Neighbors(u)[i].
+func (g *Graph) IncidentEdges(u int) []EdgeID { return g.inc[u] }
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns Δ, the maximum degree. Zero for an empty graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) > d {
+			d = len(g.adj[u])
+		}
+	}
+	return d
+}
+
+// MinDegree returns the minimum degree; zero for an empty graph.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	d := len(g.adj[0])
+	for u := 1; u < g.n; u++ {
+		if len(g.adj[u]) < d {
+			d = len(g.adj[u])
+		}
+	}
+	return d
+}
+
+// AvgDegree returns the average degree 2M/N; zero for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / float64(g.n)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices of degree d,
+// for d in [0, Δ].
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for u := 0; u < g.n; u++ {
+		counts[len(g.adj[u])]++
+	}
+	return counts
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, e := range g.edges {
+		c.MustAddEdge(e.U, e.V)
+	}
+	return c
+}
+
+// SortedNeighbors returns a sorted copy of u's neighbor list; useful for
+// deterministic iteration in tests and reports.
+func (g *Graph) SortedNeighbors(u int) []int {
+	s := append([]int(nil), g.adj[u]...)
+	sort.Ints(s)
+	return s
+}
+
+// Validate checks internal consistency (degree sums, index round-trips).
+// It returns nil for graphs built through AddEdge; it exists to guard
+// deserialized graphs and as a property-test anchor.
+func (g *Graph) Validate() error {
+	degSum := 0
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) != len(g.inc[u]) {
+			return fmt.Errorf("graph: vertex %d adjacency/incidence length mismatch", u)
+		}
+		degSum += len(g.adj[u])
+		for i, v := range g.adj[u] {
+			id := g.inc[u][i]
+			if int(id) < 0 || int(id) >= len(g.edges) {
+				return fmt.Errorf("graph: vertex %d has invalid incident edge id %d", u, id)
+			}
+			e := g.edges[id]
+			if e != (Edge{u, v}.Norm()) {
+				return fmt.Errorf("graph: incidence mismatch at %d: edge %d is %v, want {%d,%d}", u, id, e, u, v)
+			}
+		}
+	}
+	if degSum != 2*len(g.edges) {
+		return fmt.Errorf("graph: degree sum %d != 2M %d", degSum, 2*len(g.edges))
+	}
+	for id, e := range g.edges {
+		if got, ok := g.index[e]; !ok || got != EdgeID(id) {
+			return fmt.Errorf("graph: index round-trip failed for edge %d %v", id, e)
+		}
+		if e.U >= e.V {
+			return fmt.Errorf("graph: edge %d %v not normalized", id, e)
+		}
+	}
+	return nil
+}
+
+// EdgesAdjacent reports whether two distinct edges share an endpoint.
+func (g *Graph) EdgesAdjacent(a, b EdgeID) bool {
+	if a == b {
+		return false
+	}
+	ea, eb := g.edges[a], g.edges[b]
+	return ea.U == eb.U || ea.U == eb.V || ea.V == eb.U || ea.V == eb.V
+}
+
+// EdgesWithinDistance1 reports whether two distinct edges are adjacent or
+// joined by a third edge — the conflict relation of strong edge coloring
+// (a proper coloring of the square of the line graph).
+func (g *Graph) EdgesWithinDistance1(a, b EdgeID) bool {
+	if a == b {
+		return false
+	}
+	if g.EdgesAdjacent(a, b) {
+		return true
+	}
+	ea, eb := g.edges[a], g.edges[b]
+	return g.HasEdge(ea.U, eb.U) || g.HasEdge(ea.U, eb.V) ||
+		g.HasEdge(ea.V, eb.U) || g.HasEdge(ea.V, eb.V)
+}

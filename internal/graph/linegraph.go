@@ -1,0 +1,67 @@
+package graph
+
+// LineGraph returns L(g): one vertex per edge of g, with two line-graph
+// vertices adjacent when their edges share an endpoint. Vertex i of the
+// line graph corresponds to EdgeID i of g.
+//
+// A proper *edge* coloring of g is exactly a proper *vertex* coloring of
+// L(g); the verify package uses this as an independent oracle for the
+// coloring checkers.
+func LineGraph(g *Graph) *Graph {
+	lg := New(g.M())
+	// Enumerate pairs of edges sharing a vertex: for each vertex, all
+	// pairs of its incident edges.
+	for u := 0; u < g.N(); u++ {
+		inc := g.IncidentEdges(u)
+		for i := 0; i < len(inc); i++ {
+			for j := i + 1; j < len(inc); j++ {
+				a, b := int(inc[i]), int(inc[j])
+				if !lg.HasEdge(a, b) {
+					lg.MustAddEdge(a, b)
+				}
+			}
+		}
+	}
+	return lg
+}
+
+// Square returns g²: same vertices, with an edge between any two
+// distinct vertices at distance 1 or 2 in g.
+//
+// A strong edge coloring of g is exactly a proper vertex coloring of
+// L(g)² — the square of the line graph.
+func Square(g *Graph) *Graph {
+	sq := New(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.adj[u] {
+			if u < v && !sq.HasEdge(u, v) {
+				sq.MustAddEdge(u, v)
+			}
+			for _, w := range g.adj[v] {
+				if u < w && !sq.HasEdge(u, w) {
+					sq.MustAddEdge(u, w)
+				}
+			}
+		}
+	}
+	return sq
+}
+
+// ProperVertexColoring reports whether colors (indexed by vertex) is a
+// proper vertex coloring of g with no negative entries.
+func ProperVertexColoring(g *Graph, colors []int) bool {
+	if len(colors) != g.N() {
+		return false
+	}
+	for _, c := range colors {
+		if c < 0 {
+			return false
+		}
+	}
+	for _, e := range g.edges {
+		if colors[e.U] == colors[e.V] {
+			return false
+		}
+	}
+	return true
+}

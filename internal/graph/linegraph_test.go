@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dima/internal/rng"
+)
+
+func TestLineGraphPath(t *testing.T) {
+	// P4 has 3 edges in a path; L(P4) = P3.
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	lg := LineGraph(g)
+	if lg.N() != 3 || lg.M() != 2 {
+		t.Fatalf("L(P4): N=%d M=%d, want 3,2", lg.N(), lg.M())
+	}
+	if !lg.HasEdge(0, 1) || !lg.HasEdge(1, 2) || lg.HasEdge(0, 2) {
+		t.Fatal("L(P4) adjacency wrong")
+	}
+}
+
+func TestLineGraphStar(t *testing.T) {
+	// L(K_{1,n}) = K_n: all star edges share the center.
+	g := New(5)
+	for v := 1; v < 5; v++ {
+		g.MustAddEdge(0, v)
+	}
+	lg := LineGraph(g)
+	if lg.N() != 4 || lg.M() != 6 {
+		t.Fatalf("L(star): N=%d M=%d, want K4", lg.N(), lg.M())
+	}
+}
+
+func TestLineGraphTriangle(t *testing.T) {
+	// L(C3) = C3.
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	lg := LineGraph(g)
+	if lg.N() != 3 || lg.M() != 3 {
+		t.Fatalf("L(C3): N=%d M=%d", lg.N(), lg.M())
+	}
+}
+
+func TestLineGraphEdgeCountFormula(t *testing.T) {
+	// |E(L(G))| = sum_v C(deg v, 2).
+	f := func(seed uint64) bool {
+		n := 6 + int(seed%20)
+		g := randomGraph(seed, n, n+3)
+		lg := LineGraph(g)
+		want := 0
+		for u := 0; u < g.N(); u++ {
+			d := g.Degree(u)
+			want += d * (d - 1) / 2
+		}
+		// Two edges can share at most one vertex in a simple graph, so
+		// no pair is double counted.
+		return lg.M() == want && lg.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquarePath(t *testing.T) {
+	// P4²: extra edges (0,2), (1,3).
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	sq := Square(g)
+	if sq.M() != 5 {
+		t.Fatalf("P4² has %d edges, want 5", sq.M())
+	}
+	if !sq.HasEdge(0, 2) || !sq.HasEdge(1, 3) || sq.HasEdge(0, 3) {
+		t.Fatal("P4² adjacency wrong")
+	}
+}
+
+func TestSquareContainsOriginal(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 5 + int(seed%20)
+		g := randomGraph(seed, n, n)
+		sq := Square(g)
+		for _, e := range g.Edges() {
+			if !sq.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return sq.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquareDistanceSemantics(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	// vertex 5 isolated
+	sq := Square(g)
+	dist := g.BFSDistances(0)
+	for v := 1; v < g.N(); v++ {
+		want := dist[v] == 1 || dist[v] == 2
+		if sq.HasEdge(0, v) != want {
+			t.Fatalf("square edge (0,%d) = %v, distance %d", v, sq.HasEdge(0, v), dist[v])
+		}
+	}
+}
+
+func TestProperVertexColoring(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	if !ProperVertexColoring(g, []int{0, 1, 0}) {
+		t.Fatal("valid coloring rejected")
+	}
+	if ProperVertexColoring(g, []int{0, 0, 1}) {
+		t.Fatal("conflict accepted")
+	}
+	if ProperVertexColoring(g, []int{0, -1, 0}) {
+		t.Fatal("negative color accepted")
+	}
+	if ProperVertexColoring(g, []int{0, 1}) {
+		t.Fatal("short coloring accepted")
+	}
+}
+
+// Strong edge coloring of G == proper vertex coloring of L(G)². This is
+// the independent oracle used to cross-check verify.StrongColoring.
+func TestSquareOfLineGraphOracle(t *testing.T) {
+	r := rng.New(5)
+	g := New(12)
+	for g.M() < 18 {
+		u, v := r.Intn(12), r.Intn(12)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	lsq := Square(LineGraph(g))
+	// Color L(G)² greedily — by construction a proper vertex coloring.
+	colors := make([]int, lsq.N())
+	for u := 0; u < lsq.N(); u++ {
+		used := map[int]bool{}
+		for _, v := range lsq.Neighbors(u) {
+			if v < u {
+				used[colors[v]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[u] = c
+	}
+	if !ProperVertexColoring(lsq, colors) {
+		t.Fatal("greedy square coloring not proper")
+	}
+	// Edges of g at line-graph-square distance share no color: this is
+	// exactly the undirected strong edge coloring condition.
+	for a := 0; a < g.M(); a++ {
+		for b := a + 1; b < g.M(); b++ {
+			if g.EdgesWithinDistance1(EdgeID(a), EdgeID(b)) != lsq.HasEdge(a, b) {
+				t.Fatalf("conflict relation mismatch for edges %d,%d", a, b)
+			}
+		}
+	}
+}

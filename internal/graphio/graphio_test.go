@@ -1,0 +1,167 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/rng"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(1), 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteGraph(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round trip: %d/%d vs %d/%d", got.N(), got.M(), g.N(), g.M())
+	}
+	for id, e := range g.Edges() {
+		if got.Edges()[id] != e {
+			t.Fatalf("edge %d differs", id)
+		}
+	}
+}
+
+func TestReadGraphNative(t *testing.T) {
+	src := `
+# a comment
+n 4
+
+e 0 1
+e 2 3
+`
+	g, err := ReadGraph(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Fatalf("parsed wrong graph: N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestReadGraphDIMACS(t *testing.T) {
+	src := `c a DIMACS comment
+p edge 3 2
+e 1 2
+e 2 3
+`
+	g, err := ReadGraph(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("DIMACS 1-indexing not handled")
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":         "e 0 1\n",
+		"empty":             "",
+		"bad n":             "n x\n",
+		"negative n":        "n -2\n",
+		"double header":     "n 3\nn 4\n",
+		"malformed e":       "n 3\ne 0\n",
+		"bad endpoints":     "n 3\ne a b\n",
+		"out of range":      "n 3\ne 0 7\n",
+		"self loop":         "n 3\ne 1 1\n",
+		"duplicate edge":    "n 3\ne 0 1\ne 1 0\n",
+		"unknown directive": "n 3\nq 0 1\n",
+		"short p":           "p edge\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadGraph(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestColoringRoundTrip(t *testing.T) {
+	c := &Coloring{
+		Kind: "edge", N: 5, M: 3,
+		Colors: []int{0, 1, -1},
+		Meta:   map[string]string{"seed": "42", "rounds": "7"},
+	}
+	var b strings.Builder
+	if err := WriteColoring(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadColoring(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != c.Kind || got.N != c.N || got.M != c.M {
+		t.Fatalf("round trip header: %+v", got)
+	}
+	for i := range c.Colors {
+		if got.Colors[i] != c.Colors[i] {
+			t.Fatalf("colors differ at %d", i)
+		}
+	}
+	if got.Meta["seed"] != "42" {
+		t.Fatal("meta lost")
+	}
+}
+
+func TestColoringKindValidation(t *testing.T) {
+	var b strings.Builder
+	if err := WriteColoring(&b, &Coloring{Kind: "banana"}); err == nil {
+		t.Fatal("accepted bad kind on write")
+	}
+	if _, err := ReadColoring(strings.NewReader(`{"kind":"banana"}`)); err == nil {
+		t.Fatal("accepted bad kind on read")
+	}
+	if _, err := ReadColoring(strings.NewReader(`{nonsense`)); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+}
+
+func TestWriteGraphEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteGraph(&b, graph.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGraph(strings.NewReader(b.String()))
+	if err != nil || g.N() != 0 {
+		t.Fatalf("empty round trip: %v", err)
+	}
+}
+
+func FuzzReadGraph(f *testing.F) {
+	f.Add("n 4\ne 0 1\ne 2 3\n")
+	f.Add("p edge 3 2\ne 1 2\ne 2 3\n")
+	f.Add("# comment\nn 0\n")
+	f.Add("n 2\ne 0 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ReadGraph(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent and must
+		// round-trip through the writer.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted inconsistent graph: %v", err)
+		}
+		var b strings.Builder
+		if err := WriteGraph(&b, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadGraph(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package msg defines the wire messages exchanged by dima protocol nodes
+// and a compact binary codec for them.
+//
+// The paper's model is synchronous local broadcast: every message a node
+// sends in a communication round is heard by all of its neighbors. The
+// To field is therefore an *addressee*, not a routing constraint —
+// receivers use it to split their inbox into messages "for me" and
+// overheard messages, exactly as the L and R states of the automaton
+// require (and the strong-coloring algorithm depends on overhearing).
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind discriminates message types.
+type Kind uint8
+
+const (
+	// KindInvite is sent by a node in the I state: From proposes to
+	// color Edge (an edge id in Algorithm 1, an arc id in Algorithm 2)
+	// with Color, addressed to neighbor To.
+	KindInvite Kind = iota + 1
+	// KindResponse is sent by a node in the R state: the invitation with
+	// the ids reversed, accepting the proposal.
+	KindResponse
+	// KindClaim is the first exchange sub-round of the strong-coloring
+	// algorithm: a tentative (edge, color) pair announced by both
+	// endpoints for same-round conflict detection.
+	KindClaim
+	// KindDecide is the second exchange sub-round: each endpoint's
+	// keep/drop verdict on its claim after local conflict resolution.
+	KindDecide
+	// KindUpdate carries newly finalized (edge, color) assignments — the
+	// E (exchange) state broadcast that keeps one-hop color knowledge
+	// current.
+	KindUpdate
+)
+
+// Broadcast is the To value for messages with no specific addressee.
+const Broadcast = -1
+
+func (k Kind) String() string {
+	switch k {
+	case KindInvite:
+		return "invite"
+	case KindResponse:
+		return "response"
+	case KindClaim:
+		return "claim"
+	case KindDecide:
+		return "decide"
+	case KindUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Paint is one (edge, color) assignment inside a KindUpdate message.
+type Paint struct {
+	Edge  int
+	Color int
+}
+
+// Message is the single concrete message type used by all protocols.
+// Unused fields are zero; Edge and Color are -1 when absent.
+type Message struct {
+	Kind   Kind
+	From   int
+	To     int // addressee, or Broadcast
+	Edge   int // EdgeID (Algorithm 1) or ArcID (Algorithm 2)
+	Color  int
+	Keep   bool    // KindDecide: endpoint's verdict
+	Paints []Paint // KindUpdate: finalized assignments
+}
+
+func (m Message) String() string {
+	switch m.Kind {
+	case KindDecide:
+		return fmt.Sprintf("%s{%d->%d e%d c%d keep=%v}", m.Kind, m.From, m.To, m.Edge, m.Color, m.Keep)
+	case KindUpdate:
+		return fmt.Sprintf("%s{%d->%d %v}", m.Kind, m.From, m.To, m.Paints)
+	default:
+		return fmt.Sprintf("%s{%d->%d e%d c%d}", m.Kind, m.From, m.To, m.Edge, m.Color)
+	}
+}
+
+// Less orders messages canonically. Inboxes are sorted with Less before
+// being handed to protocol logic so that the deterministic sequential
+// runtime and the goroutine runtime produce identical executions.
+func Less(a, b Message) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	if a.Edge != b.Edge {
+		return a.Edge < b.Edge
+	}
+	return a.Color < b.Color
+}
+
+// Size returns the encoded size of m in bytes without encoding it.
+func (m Message) Size() int {
+	n := 1 + // kind byte
+		varintLen(int64(m.From)) + varintLen(int64(m.To)) +
+		varintLen(int64(m.Edge)) + varintLen(int64(m.Color)) +
+		1 + // keep byte
+		uvarintLen(uint64(len(m.Paints)))
+	for _, p := range m.Paints {
+		n += varintLen(int64(p.Edge)) + varintLen(int64(p.Color))
+	}
+	return n
+}
+
+// varintLen returns the zig-zag varint encoding length of v.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// uvarintLen returns the unsigned varint encoding length of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Append appends the binary encoding of m to buf and returns the result.
+// The format is: kind byte, then varint-encoded From, To, Edge, Color
+// (zig-zag for the possibly-negative fields), a keep byte, and a
+// length-prefixed paint list.
+func (m Message) Append(buf []byte) []byte {
+	buf = append(buf, byte(m.Kind))
+	buf = binary.AppendVarint(buf, int64(m.From))
+	buf = binary.AppendVarint(buf, int64(m.To))
+	buf = binary.AppendVarint(buf, int64(m.Edge))
+	buf = binary.AppendVarint(buf, int64(m.Color))
+	if m.Keep {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Paints)))
+	for _, p := range m.Paints {
+		buf = binary.AppendVarint(buf, int64(p.Edge))
+		buf = binary.AppendVarint(buf, int64(p.Color))
+	}
+	return buf
+}
+
+// Decode parses one message from buf, returning the message and the
+// number of bytes consumed.
+func Decode(buf []byte) (Message, int, error) {
+	var m Message
+	if len(buf) == 0 {
+		return m, 0, fmt.Errorf("msg: empty buffer")
+	}
+	m.Kind = Kind(buf[0])
+	if m.Kind < KindInvite || m.Kind > KindUpdate {
+		return m, 0, fmt.Errorf("msg: unknown kind %d", buf[0])
+	}
+	pos := 1
+	readInt := func() (int, error) {
+		v, n := binary.Varint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("msg: truncated varint at offset %d", pos)
+		}
+		pos += n
+		return int(v), nil
+	}
+	var err error
+	if m.From, err = readInt(); err != nil {
+		return m, 0, err
+	}
+	if m.To, err = readInt(); err != nil {
+		return m, 0, err
+	}
+	if m.Edge, err = readInt(); err != nil {
+		return m, 0, err
+	}
+	if m.Color, err = readInt(); err != nil {
+		return m, 0, err
+	}
+	if pos >= len(buf) {
+		return m, 0, fmt.Errorf("msg: truncated keep byte")
+	}
+	m.Keep = buf[pos] == 1
+	pos++
+	count, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return m, 0, fmt.Errorf("msg: truncated paint count")
+	}
+	pos += n
+	if count > uint64(len(buf)) {
+		return m, 0, fmt.Errorf("msg: implausible paint count %d", count)
+	}
+	if count > 0 {
+		m.Paints = make([]Paint, count)
+		for i := range m.Paints {
+			if m.Paints[i].Edge, err = readInt(); err != nil {
+				return m, 0, err
+			}
+			if m.Paints[i].Color, err = readInt(); err != nil {
+				return m, 0, err
+			}
+		}
+	}
+	return m, pos, nil
+}
+
+// Equal reports whether two messages are identical, including paints.
+func Equal(a, b Message) bool {
+	if a.Kind != b.Kind || a.From != b.From || a.To != b.To ||
+		a.Edge != b.Edge || a.Color != b.Color || a.Keep != b.Keep ||
+		len(a.Paints) != len(b.Paints) {
+		return false
+	}
+	for i := range a.Paints {
+		if a.Paints[i] != b.Paints[i] {
+			return false
+		}
+	}
+	return true
+}

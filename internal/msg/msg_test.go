@@ -1,0 +1,192 @@
+package msg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sample() []Message {
+	return []Message{
+		{Kind: KindInvite, From: 3, To: 7, Edge: 12, Color: 0},
+		{Kind: KindResponse, From: 7, To: 3, Edge: 12, Color: 0},
+		{Kind: KindClaim, From: 3, To: Broadcast, Edge: 12, Color: 5},
+		{Kind: KindDecide, From: 3, To: Broadcast, Edge: 12, Color: 5, Keep: true},
+		{Kind: KindDecide, From: 3, To: Broadcast, Edge: 12, Color: 5, Keep: false},
+		{Kind: KindUpdate, From: 9, To: Broadcast, Edge: -1, Color: -1,
+			Paints: []Paint{{Edge: 1, Color: 2}, {Edge: 40, Color: 0}}},
+		{Kind: KindUpdate, From: 0, To: Broadcast, Edge: -1, Color: -1},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, m := range sample() {
+		buf := m.Append(nil)
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: consumed %d of %d bytes", m, n, len(buf))
+		}
+		if !Equal(m, got) {
+			t.Fatalf("round trip: sent %v got %v", m, got)
+		}
+	}
+}
+
+func TestRoundTripConcatenated(t *testing.T) {
+	msgs := sample()
+	var buf []byte
+	for _, m := range msgs {
+		buf = m.Append(buf)
+	}
+	pos := 0
+	for i, want := range msgs {
+		got, n, err := Decode(buf[pos:])
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !Equal(want, got) {
+			t.Fatalf("message %d: %v != %v", i, want, got)
+		}
+		pos += n
+	}
+	if pos != len(buf) {
+		t.Fatalf("leftover bytes: %d of %d", len(buf)-pos, len(buf))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("decoded empty buffer")
+	}
+	if _, _, err := Decode([]byte{0}); err == nil {
+		t.Fatal("decoded kind 0")
+	}
+	if _, _, err := Decode([]byte{99}); err == nil {
+		t.Fatal("decoded unknown kind")
+	}
+	// Truncate a valid encoding at every prefix length: must error, never
+	// panic, never succeed.
+	full := sample()[5].Append(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("decoded truncated buffer of %d/%d bytes", cut, len(full))
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	for _, m := range sample() {
+		if m.Size() != len(m.Append(nil)) {
+			t.Fatalf("Size mismatch for %v", m)
+		}
+	}
+}
+
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	msgs := sample()
+	for _, a := range msgs {
+		if Less(a, a) {
+			t.Fatalf("Less(%v, %v) true", a, a)
+		}
+		for _, b := range msgs {
+			if Less(a, b) && Less(b, a) {
+				t.Fatalf("Less not antisymmetric on %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestLessOrdersByFromFirst(t *testing.T) {
+	a := Message{Kind: KindUpdate, From: 1}
+	b := Message{Kind: KindInvite, From: 2}
+	if !Less(a, b) || Less(b, a) {
+		t.Fatal("From must dominate ordering")
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	msgs := []Message{
+		{Kind: KindResponse, From: 2, Edge: 1},
+		{Kind: KindInvite, From: 2, Edge: 9},
+		{Kind: KindInvite, From: 0, Edge: 3},
+	}
+	sort.Slice(msgs, func(i, j int) bool { return Less(msgs[i], msgs[j]) })
+	if msgs[0].From != 0 || msgs[1].Kind != KindInvite || msgs[2].Kind != KindResponse {
+		t.Fatalf("sorted order wrong: %v", msgs)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindInvite: "invite", KindResponse: "response", KindClaim: "claim",
+		KindDecide: "decide", KindUpdate: "update", Kind(77): "kind(77)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(kind uint8, from, to, edge, color int16, keep bool, paintsRaw []int16) bool {
+		k := Kind(kind%5) + KindInvite
+		m := Message{
+			Kind: k, From: int(from), To: int(to),
+			Edge: int(edge), Color: int(color), Keep: keep,
+		}
+		for i := 0; i+1 < len(paintsRaw); i += 2 {
+			m.Paints = append(m.Paints, Paint{Edge: int(paintsRaw[i]), Color: int(paintsRaw[i+1])})
+		}
+		got, n, err := Decode(m.Append(nil))
+		return err == nil && n == m.Size() && Equal(m, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fuzz-like robustness check: Decode must never panic on arbitrary bytes.
+func TestQuickDecodeNoPanic(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	for _, m := range sample() {
+		f.Add(m.Append(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Round-trip: re-encoding the decoded message must decode to the
+		// same message.
+		again, n2, err := Decode(m.Append(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != m.Size() || !Equal(m, again) {
+			t.Fatalf("round trip mismatch: %v vs %v", m, again)
+		}
+	})
+}

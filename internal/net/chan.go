@@ -1,0 +1,151 @@
+package net
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"dima/internal/graph"
+	"dima/internal/msg"
+)
+
+// RunChan executes the protocol with one goroutine per vertex and a
+// buffered channel per directed link. Synchrony follows the classic
+// batch-per-round discipline: every round, each node sends exactly one
+// (possibly empty) batch on each outgoing link and then receives exactly
+// one batch from each incoming link, so receiving from all neighbors is
+// itself the round barrier. A small coordinator exchange decides global
+// termination between rounds.
+//
+// Results are identical to RunSync for deterministic nodes: inboxes are
+// sorted canonically before each Step, and nodes draw randomness only
+// from their own generators.
+func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
+	if err := validate(g, nodes); err != nil {
+		return Result{}, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	n := g.N()
+
+	if allDone(nodes) {
+		return Result{Terminated: true}, nil
+	}
+
+	// links[u][i]: channel carrying u's per-round batch to its i-th
+	// neighbor. Buffer 1 so senders never block: each round uses each
+	// link exactly once.
+	links := make([][]chan []msg.Message, n)
+	// fromNbr[v][j]: the channel on which v receives from its j-th
+	// neighbor (the reverse index of links).
+	fromNbr := make([][]chan []msg.Message, n)
+	for u := 0; u < n; u++ {
+		deg := g.Degree(u)
+		links[u] = make([]chan []msg.Message, deg)
+		fromNbr[u] = make([]chan []msg.Message, deg)
+		for i := 0; i < deg; i++ {
+			links[u][i] = make(chan []msg.Message, 1)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for i, v := range g.Neighbors(u) {
+			// Find u's slot in v's neighbor list.
+			for j, w := range g.Neighbors(v) {
+				if w == u {
+					fromNbr[v][j] = links[u][i]
+					break
+				}
+			}
+		}
+	}
+
+	var messages, deliveries, bytes atomic.Int64
+
+	// Per-round coordination: nodes report done status, the coordinator
+	// answers with continue/stop.
+	status := make(chan bool, n)
+	ctrl := make([]chan bool, n)
+	for u := range ctrl {
+		ctrl[u] = make(chan bool, 1)
+	}
+
+	for u := 0; u < n; u++ {
+		go func(u int) {
+			node := nodes[u]
+			nbrs := g.Neighbors(u)
+			var inbox []msg.Message
+			for round := 0; ; round++ {
+				sort.Slice(inbox, func(i, j int) bool {
+					return msg.Less(inbox[i], inbox[j])
+				})
+				out := node.Step(round, inbox)
+				if len(out) > 0 {
+					messages.Add(int64(len(out)))
+					for _, m := range out {
+						bytes.Add(int64(m.Size()))
+					}
+				}
+				// Send this round's batch on every outgoing link. Each
+				// receiver gets its own filtered copy when faults are
+				// configured; otherwise the shared slice is safe because
+				// batches are read-only downstream.
+				for i, v := range nbrs {
+					batch := out
+					if cfg.Fault != nil {
+						batch = nil
+						for _, m := range out {
+							if !cfg.Fault.Drop(round, m, v) {
+								batch = append(batch, m)
+							}
+						}
+					}
+					deliveries.Add(int64(len(batch)))
+					links[u][i] <- batch
+				}
+				// Receive one batch from every neighbor: the barrier.
+				// A fresh slice each round: nodes may retain inbox
+				// messages across steps.
+				inbox = nil
+				for j := range nbrs {
+					inbox = append(inbox, <-fromNbr[u][j]...)
+				}
+				// Coordinator round: report done, await verdict.
+				status <- node.Done()
+				if stop := <-ctrl[u]; stop {
+					return
+				}
+			}
+		}(u)
+	}
+
+	stopAll := func(stop bool) {
+		for u := 0; u < n; u++ {
+			ctrl[u] <- stop
+		}
+	}
+	var res Result
+	for round := 0; round < maxRounds; round++ {
+		done := true
+		for i := 0; i < n; i++ {
+			if !<-status {
+				done = false
+			}
+		}
+		res.Rounds = round + 1
+		if done {
+			stopAll(true)
+			res.Terminated = true
+			break
+		}
+		if round == maxRounds-1 {
+			stopAll(true)
+			break
+		}
+		stopAll(false)
+	}
+	res.Messages = messages.Load()
+	res.Deliveries = deliveries.Load()
+	res.Bytes = bytes.Load()
+	return res, nil
+}

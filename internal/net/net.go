@@ -1,0 +1,164 @@
+// Package net provides the synchronous message-passing substrate the
+// paper's model assumes (§I-C): communication proceeds in lockstep
+// rounds, each vertex is a compute node, and every message a node sends
+// in a round is heard by all of its neighbors (local broadcast).
+//
+// Two interchangeable engines execute the same Node protocol logic:
+//
+//   - RunSync: a deterministic sequential scheduler, used by tests,
+//     benchmarks, and experiments for speed and reproducibility.
+//   - RunChan: a goroutine per node with channels as links, synchronized
+//     by the batch-per-round discipline — the natural Go embodiment of
+//     the message-passing model.
+//
+// Given nodes whose behavior is a deterministic function of (round,
+// sorted inbox, per-node RNG), both engines produce identical executions;
+// this equivalence is property-tested in the core package.
+package net
+
+import (
+	"fmt"
+	"sort"
+
+	"dima/internal/graph"
+	"dima/internal/msg"
+)
+
+// Node is a synchronous protocol participant. Implementations must be
+// deterministic functions of their own state, the round number, and the
+// (canonically sorted) inbox; all randomness must come from a private
+// generator seeded at construction.
+type Node interface {
+	// ID returns the vertex this node runs on.
+	ID() int
+	// Step executes one communication round. The inbox holds every
+	// message broadcast by a neighbor in the previous round, sorted by
+	// msg.Less. The returned messages are locally broadcast: delivered
+	// to every neighbor at the next round.
+	//
+	// The inbox slice is owned by the engine and reused across rounds:
+	// implementations may copy Message values out of it but must not
+	// retain the slice itself.
+	Step(round int, inbox []msg.Message) []msg.Message
+	// Done reports whether this node has completed all of its work and
+	// flushed every message its neighbors still need.
+	Done() bool
+}
+
+// FaultInjector decides per (message, receiver) whether a delivery is
+// lost. The paper's model assumes reliable delivery; injectors exist so
+// tests can probe behavior outside the model.
+type FaultInjector interface {
+	// Drop reports whether the delivery of m to vertex to in the given
+	// round should be discarded.
+	Drop(round int, m msg.Message, to int) bool
+}
+
+// Config controls an engine run.
+type Config struct {
+	// MaxRounds bounds the number of communication rounds; 0 means the
+	// default of 1,000,000. If the bound is hit the run reports
+	// Terminated == false rather than failing.
+	MaxRounds int
+	// Fault optionally drops deliveries. Nil means reliable delivery.
+	Fault FaultInjector
+}
+
+const defaultMaxRounds = 1_000_000
+
+// Result summarizes an engine run.
+type Result struct {
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// Messages is the number of local broadcasts sent.
+	Messages int64
+	// Deliveries is the number of per-neighbor message deliveries
+	// (a broadcast by a degree-d node counts d).
+	Deliveries int64
+	// Bytes is the total encoded size of all broadcasts.
+	Bytes int64
+	// Terminated reports whether every node finished within MaxRounds.
+	Terminated bool
+}
+
+// Engine runs a protocol over a topology; RunSync and RunChan satisfy it.
+type Engine func(g *graph.Graph, nodes []Node, cfg Config) (Result, error)
+
+func validate(g *graph.Graph, nodes []Node) error {
+	if len(nodes) != g.N() {
+		return fmt.Errorf("net: %d nodes for %d vertices", len(nodes), g.N())
+	}
+	for i, n := range nodes {
+		if n == nil {
+			return fmt.Errorf("net: nil node at %d", i)
+		}
+		if n.ID() != i {
+			return fmt.Errorf("net: node at index %d reports id %d", i, n.ID())
+		}
+	}
+	return nil
+}
+
+func allDone(nodes []Node) bool {
+	for _, n := range nodes {
+		if !n.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSync executes the protocol with a deterministic sequential
+// scheduler: one goroutine, vertices stepped in id order each round.
+func RunSync(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
+	if err := validate(g, nodes); err != nil {
+		return Result{}, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	var res Result
+	// Double-buffered inboxes: the current round's inboxes are consumed
+	// while the next round's fill, then the buffers swap and truncate.
+	// Message values are structs, so nodes copying them out of a reused
+	// slice stay valid.
+	inboxes := make([][]msg.Message, g.N())
+	next := make([][]msg.Message, g.N())
+	if allDone(nodes) {
+		res.Terminated = true
+		return res, nil
+	}
+	for round := 0; round < maxRounds; round++ {
+		for u := 0; u < g.N(); u++ {
+			in := inboxes[u]
+			if len(in) > 1 {
+				sort.Slice(in, func(i, j int) bool {
+					return msg.Less(in[i], in[j])
+				})
+			}
+			out := nodes[u].Step(round, in)
+			for _, m := range out {
+				res.Messages++
+				res.Bytes += int64(m.Size())
+				for _, v := range g.Neighbors(u) {
+					if cfg.Fault != nil && cfg.Fault.Drop(round, m, v) {
+						continue
+					}
+					next[v] = append(next[v], m)
+					res.Deliveries++
+				}
+			}
+		}
+		inboxes, next = next, inboxes
+		for u := range next {
+			next[u] = next[u][:0]
+		}
+		res.Rounds = round + 1
+		if allDone(nodes) {
+			res.Terminated = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,240 @@
+// Package verify checks the outputs of the coloring and matching
+// algorithms against their definitions: proper edge colorings
+// (Definition 1), strong directed edge colorings (Definition 2),
+// matchings, and vertex covers. Checkers return detailed violation
+// reports rather than booleans so that tests and the dimaverify CLI can
+// explain exactly what went wrong.
+package verify
+
+import (
+	"fmt"
+
+	"dima/internal/graph"
+)
+
+// Violation describes one constraint breach found by a checker.
+type Violation struct {
+	// Kind labels the breached constraint.
+	Kind string
+	// A and B identify the offending pair (edge ids, arc ids, or vertex
+	// ids depending on the checker); B is -1 for single-object breaches.
+	A, B int
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Detail }
+
+// EdgeColoring checks that colors is a proper edge coloring of g:
+// every edge has a color >= 0 and no two adjacent edges share a color.
+// colors is indexed by graph.EdgeID.
+func EdgeColoring(g *graph.Graph, colors []int) []Violation {
+	var out []Violation
+	if len(colors) != g.M() {
+		return []Violation{{
+			Kind: "arity", A: -1, B: -1,
+			Detail: fmt.Sprintf("got %d colors for %d edges", len(colors), g.M()),
+		}}
+	}
+	for e, c := range colors {
+		if c < 0 {
+			out = append(out, Violation{
+				Kind: "uncolored", A: e, B: -1,
+				Detail: fmt.Sprintf("edge %v has no color", g.EdgeAt(graph.EdgeID(e))),
+			})
+		}
+	}
+	// Adjacent edges share a vertex: check per-vertex color multiplicity.
+	for u := 0; u < g.N(); u++ {
+		seen := make(map[int]graph.EdgeID, g.Degree(u))
+		for _, e := range g.IncidentEdges(u) {
+			c := colors[e]
+			if c < 0 {
+				continue
+			}
+			if prev, dup := seen[c]; dup {
+				out = append(out, Violation{
+					Kind: "adjacent", A: int(prev), B: int(e),
+					Detail: fmt.Sprintf("edges %v and %v at vertex %d both colored %d",
+						g.EdgeAt(prev), g.EdgeAt(graph.EdgeID(e)), u, c),
+				})
+			} else {
+				seen[c] = graph.EdgeID(e)
+			}
+		}
+	}
+	return out
+}
+
+// StrongColoring checks that colors is a strong directed edge coloring
+// of d per Definition 2: every arc has a color >= 0 and no two distinct
+// arcs whose endpoint sets intersect or are joined by an edge share a
+// color. colors is indexed by graph.ArcID. The check is O(A * Δ²).
+func StrongColoring(d *graph.Digraph, colors []int) []Violation {
+	var out []Violation
+	if len(colors) != d.A() {
+		return []Violation{{
+			Kind: "arity", A: -1, B: -1,
+			Detail: fmt.Sprintf("got %d colors for %d arcs", len(colors), d.A()),
+		}}
+	}
+	for a, c := range colors {
+		if c < 0 {
+			out = append(out, Violation{
+				Kind: "uncolored", A: a, B: -1,
+				Detail: fmt.Sprintf("arc %v has no color", d.ArcAt(graph.ArcID(a))),
+			})
+		}
+	}
+	g := d.Under()
+	// For each arc, enumerate the conflicting arcs with a higher id by
+	// walking the closed neighborhoods of its endpoints.
+	for a := graph.ArcID(0); a < graph.ArcID(d.A()); a++ {
+		if colors[a] < 0 {
+			continue
+		}
+		arc := d.ArcAt(a)
+		checked := map[graph.ArcID]bool{}
+		consider := func(b graph.ArcID) {
+			if b <= a || checked[b] || colors[b] < 0 {
+				return
+			}
+			checked[b] = true
+			if colors[a] == colors[b] && d.ArcsConflict(a, b) {
+				out = append(out, Violation{
+					Kind: "distance2", A: int(a), B: int(b),
+					Detail: fmt.Sprintf("arcs %v and %v within distance 1 both colored %d",
+						arc, d.ArcAt(b), colors[a]),
+				})
+			}
+		}
+		for _, end := range []int{arc.From, arc.To} {
+			for _, w := range append([]int{end}, g.Neighbors(end)...) {
+				for _, b := range d.OutArcs(w) {
+					consider(b)
+					consider(d.ReverseOf(b))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Matching checks that edges (a set of edge ids) is a matching in g: no
+// two selected edges share a vertex.
+func Matching(g *graph.Graph, edges []graph.EdgeID) []Violation {
+	var out []Violation
+	used := make(map[int]graph.EdgeID)
+	seen := make(map[graph.EdgeID]bool)
+	for _, e := range edges {
+		if int(e) < 0 || int(e) >= g.M() {
+			out = append(out, Violation{
+				Kind: "range", A: int(e), B: -1,
+				Detail: fmt.Sprintf("edge id %d out of range", e),
+			})
+			continue
+		}
+		if seen[e] {
+			out = append(out, Violation{
+				Kind: "duplicate", A: int(e), B: -1,
+				Detail: fmt.Sprintf("edge %v selected twice", g.EdgeAt(e)),
+			})
+			continue
+		}
+		seen[e] = true
+		ed := g.EdgeAt(e)
+		for _, v := range []int{ed.U, ed.V} {
+			if prev, dup := used[v]; dup {
+				out = append(out, Violation{
+					Kind: "shared-vertex", A: int(prev), B: int(e),
+					Detail: fmt.Sprintf("edges %v and %v share vertex %d",
+						g.EdgeAt(prev), ed, v),
+				})
+			} else {
+				used[v] = e
+			}
+		}
+	}
+	return out
+}
+
+// MaximalMatching checks that edges is a matching and that it is
+// maximal: every edge of g has at least one matched endpoint.
+func MaximalMatching(g *graph.Graph, edges []graph.EdgeID) []Violation {
+	out := Matching(g, edges)
+	matched := make([]bool, g.N())
+	for _, e := range edges {
+		if int(e) >= 0 && int(e) < g.M() {
+			ed := g.EdgeAt(e)
+			matched[ed.U], matched[ed.V] = true, true
+		}
+	}
+	for id, ed := range g.Edges() {
+		if !matched[ed.U] && !matched[ed.V] {
+			out = append(out, Violation{
+				Kind: "not-maximal", A: id, B: -1,
+				Detail: fmt.Sprintf("edge %v has no matched endpoint", ed),
+			})
+		}
+	}
+	return out
+}
+
+// VertexCover checks that cover (a set of vertex ids) covers every edge
+// of g.
+func VertexCover(g *graph.Graph, cover []int) []Violation {
+	var out []Violation
+	in := make([]bool, g.N())
+	for _, v := range cover {
+		if v < 0 || v >= g.N() {
+			out = append(out, Violation{
+				Kind: "range", A: v, B: -1,
+				Detail: fmt.Sprintf("vertex id %d out of range", v),
+			})
+			continue
+		}
+		in[v] = true
+	}
+	for id, e := range g.Edges() {
+		if !in[e.U] && !in[e.V] {
+			out = append(out, Violation{
+				Kind: "uncovered", A: id, B: -1,
+				Detail: fmt.Sprintf("edge %v not covered", e),
+			})
+		}
+	}
+	return out
+}
+
+// StrongLowerBound returns a lower bound on the number of colors any
+// strong directed edge coloring of d must use: all arcs with an endpoint
+// in {u, v} pairwise conflict for any edge (u, v) (two arcs touching u
+// and v respectively are joined by (u,v) itself), so the bound is
+// max over edges of 2(deg u + deg v - 1). Zero for empty digraphs.
+func StrongLowerBound(d *graph.Digraph) int {
+	g := d.Under()
+	best := 0
+	for _, e := range g.Edges() {
+		if k := 2 * (g.Degree(e.U) + g.Degree(e.V) - 1); k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// CountColors returns the number of distinct colors (ignoring negative
+// entries) and the maximum color index (-1 if none).
+func CountColors(colors []int) (distinct, maxColor int) {
+	seen := make(map[int]bool)
+	maxColor = -1
+	for _, c := range colors {
+		if c < 0 {
+			continue
+		}
+		seen[c] = true
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	return len(seen), maxColor
+}

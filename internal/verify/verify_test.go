@@ -1,0 +1,281 @@
+package verify
+
+import (
+	"testing"
+
+	"dima/internal/graph"
+	"dima/internal/rng"
+)
+
+func rngNew(seed uint64) *rng.Rand { return rng.New(seed) }
+
+func path4() *graph.Graph {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	return g
+}
+
+func TestEdgeColoringValid(t *testing.T) {
+	g := path4()
+	if v := EdgeColoring(g, []int{0, 1, 0}); len(v) != 0 {
+		t.Fatalf("valid coloring rejected: %v", v)
+	}
+}
+
+func TestEdgeColoringAdjacentConflict(t *testing.T) {
+	g := path4()
+	v := EdgeColoring(g, []int{0, 0, 1})
+	if len(v) != 1 || v[0].Kind != "adjacent" {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].A != 0 || v[0].B != 1 {
+		t.Fatalf("wrong edges reported: %+v", v[0])
+	}
+}
+
+func TestEdgeColoringUncolored(t *testing.T) {
+	g := path4()
+	v := EdgeColoring(g, []int{0, -1, 0})
+	if len(v) != 1 || v[0].Kind != "uncolored" || v[0].A != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestEdgeColoringArity(t *testing.T) {
+	g := path4()
+	v := EdgeColoring(g, []int{0, 1})
+	if len(v) != 1 || v[0].Kind != "arity" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestEdgeColoringMultipleConflictsAllReported(t *testing.T) {
+	// Star with all edges the same color: center sees C(3,2)=3 pairwise
+	// conflicts... reported as one per duplicate detection = 2 (first
+	// occupies the slot, each later duplicate reports once).
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 3)
+	v := EdgeColoring(g, []int{5, 5, 5})
+	if len(v) != 2 {
+		t.Fatalf("want 2 duplicate reports, got %v", v)
+	}
+}
+
+func TestStrongColoringValid(t *testing.T) {
+	// P3: all four arcs mutually conflict; all-distinct is valid.
+	d := graph.NewSymmetric(path3())
+	if v := StrongColoring(d, []int{0, 1, 2, 3}); len(v) != 0 {
+		t.Fatalf("valid strong coloring rejected: %v", v)
+	}
+}
+
+func path3() *graph.Graph {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	return g
+}
+
+func TestStrongColoringReverseConflict(t *testing.T) {
+	d := graph.NewSymmetric(path3())
+	v := StrongColoring(d, []int{0, 0, 1, 2})
+	if len(v) != 1 || v[0].Kind != "distance2" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestStrongColoringJoinedByEdgeConflict(t *testing.T) {
+	// P4: arcs (0,1) and (2,3) are joined by edge (1,2).
+	d := graph.NewSymmetric(path4())
+	colors := []int{0, 1, 2, 3, 0, 4} // arc 4 = (2,3) gets color 0 = arc 0's color
+	v := StrongColoring(d, colors)
+	found := false
+	for _, viol := range v {
+		if viol.Kind == "distance2" && viol.A == 0 && viol.B == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("joined-by-edge conflict missed: %v", v)
+	}
+}
+
+func TestStrongColoringDistantReuseOK(t *testing.T) {
+	// P5: arcs (0,1) and (3,4) are at distance 2 — reuse is legal.
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	d := graph.NewSymmetric(g)
+	colors := []int{0, 1, 2, 3, 4, 5, 0, 6} // arc 6 = (3,4) reuses color 0
+	if v := StrongColoring(d, colors); len(v) != 0 {
+		t.Fatalf("legal distant reuse rejected: %v", v)
+	}
+}
+
+func TestStrongColoringUncoloredAndArity(t *testing.T) {
+	d := graph.NewSymmetric(path3())
+	v := StrongColoring(d, []int{0, 1, -1, 3})
+	if len(v) != 1 || v[0].Kind != "uncolored" {
+		t.Fatalf("violations = %v", v)
+	}
+	v = StrongColoring(d, []int{0})
+	if len(v) != 1 || v[0].Kind != "arity" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestMatchingValid(t *testing.T) {
+	g := path4()
+	if v := Matching(g, []graph.EdgeID{0, 2}); len(v) != 0 {
+		t.Fatalf("valid matching rejected: %v", v)
+	}
+	if v := Matching(g, nil); len(v) != 0 {
+		t.Fatalf("empty matching rejected: %v", v)
+	}
+}
+
+func TestMatchingSharedVertex(t *testing.T) {
+	g := path4()
+	v := Matching(g, []graph.EdgeID{0, 1})
+	if len(v) != 1 || v[0].Kind != "shared-vertex" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestMatchingDuplicateAndRange(t *testing.T) {
+	g := path4()
+	v := Matching(g, []graph.EdgeID{0, 0})
+	if len(v) != 1 || v[0].Kind != "duplicate" {
+		t.Fatalf("violations = %v", v)
+	}
+	v = Matching(g, []graph.EdgeID{99})
+	if len(v) != 1 || v[0].Kind != "range" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestMaximalMatching(t *testing.T) {
+	g := path4()
+	// {edge 1} is a maximal matching of P4 (covers vertices 1 and 2;
+	// edges 0 and 2 each touch a matched vertex).
+	if v := MaximalMatching(g, []graph.EdgeID{1}); len(v) != 0 {
+		t.Fatalf("maximal matching rejected: %v", v)
+	}
+	// {edge 0} leaves edge 2 uncovered.
+	v := MaximalMatching(g, []graph.EdgeID{0})
+	if len(v) != 1 || v[0].Kind != "not-maximal" || v[0].A != 2 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestVertexCover(t *testing.T) {
+	g := path4()
+	if v := VertexCover(g, []int{1, 2}); len(v) != 0 {
+		t.Fatalf("valid cover rejected: %v", v)
+	}
+	v := VertexCover(g, []int{0, 3})
+	if len(v) != 1 || v[0].Kind != "uncovered" || v[0].A != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	v = VertexCover(g, []int{-1, 5})
+	hasRange := 0
+	for _, viol := range v {
+		if viol.Kind == "range" {
+			hasRange++
+		}
+	}
+	if hasRange != 2 {
+		t.Fatalf("range violations = %v", v)
+	}
+}
+
+func TestCountColors(t *testing.T) {
+	d, m := CountColors([]int{0, 3, 3, -1, 7})
+	if d != 3 || m != 7 {
+		t.Fatalf("CountColors = %d,%d", d, m)
+	}
+	d, m = CountColors(nil)
+	if d != 0 || m != -1 {
+		t.Fatalf("CountColors(nil) = %d,%d", d, m)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: "adjacent", A: 1, B: 2, Detail: "boom"}
+	if v.String() != "boom" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestStrongLowerBound(t *testing.T) {
+	// Star K_{1,4}: edge (center, leaf) gives 2(4+1-1) = 8.
+	g := graph.New(5)
+	for v := 1; v < 5; v++ {
+		g.MustAddEdge(0, v)
+	}
+	d := graph.NewSymmetric(g)
+	if lb := StrongLowerBound(d); lb != 8 {
+		t.Fatalf("star lower bound %d, want 8", lb)
+	}
+	if lb := StrongLowerBound(graph.NewSymmetric(graph.New(3))); lb != 0 {
+		t.Fatalf("empty lower bound %d", lb)
+	}
+	// P2: 2(1+1-1) = 2.
+	p := graph.New(2)
+	p.MustAddEdge(0, 1)
+	if lb := StrongLowerBound(graph.NewSymmetric(p)); lb != 2 {
+		t.Fatalf("P2 lower bound %d, want 2", lb)
+	}
+}
+
+// Cross-check StrongColoring against an independent oracle built from
+// the square of the line graph: two arcs conflict iff they belong to the
+// same undirected edge or their edges are adjacent in L(G)².
+func TestStrongColoringMatchesLineGraphSquareOracle(t *testing.T) {
+	r := rngNew(77)
+	for trial := 0; trial < 20; trial++ {
+		g := graph.New(8)
+		for g.M() < 10 {
+			u, v := r.Intn(8), r.Intn(8)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		d := graph.NewSymmetric(g)
+		lsq := graph.Square(graph.LineGraph(g))
+		// A random (often invalid) arc coloring with a small palette.
+		colors := make([]int, d.A())
+		for i := range colors {
+			colors[i] = r.Intn(5)
+		}
+		checkerSays := false
+		for _, v := range StrongColoring(d, colors) {
+			if v.Kind == "distance2" {
+				checkerSays = true
+				break
+			}
+		}
+		oracleSays := false
+		for a := 0; a < d.A() && !oracleSays; a++ {
+			for b := a + 1; b < d.A(); b++ {
+				if colors[a] != colors[b] {
+					continue
+				}
+				ea, eb := int(d.EdgeOf(graph.ArcID(a))), int(d.EdgeOf(graph.ArcID(b)))
+				if ea == eb || lsq.HasEdge(ea, eb) {
+					oracleSays = true
+					break
+				}
+			}
+		}
+		if checkerSays != oracleSays {
+			t.Fatalf("trial %d: checker=%v oracle=%v", trial, checkerSays, oracleSays)
+		}
+	}
+}

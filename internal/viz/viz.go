@@ -1,0 +1,144 @@
+// Package viz renders ASCII scatter plots of experiment series — the
+// closest a terminal gets to the paper's Figures 3–6. Each series gets
+// its own glyph; axes are linear with automatic ranges.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) observation.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named set of points sharing one glyph.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Plot is an ASCII scatter plot. Construct with NewPlot, add series,
+// then Render.
+type Plot struct {
+	title      string
+	xlab, ylab string
+	width      int
+	height     int
+	series     []Series
+}
+
+// NewPlot creates a plot with the given title and axis labels. Width and
+// height are the interior cell counts; values below 20×8 are clamped up.
+func NewPlot(title, xlab, ylab string, width, height int) *Plot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	return &Plot{title: title, xlab: xlab, ylab: ylab, width: width, height: height}
+}
+
+// Add appends a series. Glyphs are assigned in order: * + o x # @ % &.
+func (p *Plot) Add(s Series) { p.series = append(p.series, s) }
+
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the plot. Overlapping points from different series render
+// as the later series' glyph.
+func (p *Plot) Render() string {
+	var xs, ys []float64
+	for _, s := range p.series {
+		for _, pt := range s.Points {
+			xs = append(xs, pt.X)
+			ys = append(ys, pt.Y)
+		}
+	}
+	var b strings.Builder
+	if p.title != "" {
+		fmt.Fprintf(&b, "%s\n", p.title)
+	}
+	if len(xs) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, p.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.width))
+	}
+	for si, s := range p.series {
+		g := glyphs[si%len(glyphs)]
+		for _, pt := range s.Points {
+			c := int(math.Round((pt.X - xmin) / (xmax - xmin) * float64(p.width-1)))
+			r := int(math.Round((pt.Y - ymin) / (ymax - ymin) * float64(p.height-1)))
+			grid[p.height-1-r][c] = g
+		}
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	if p.ylab != "" {
+		fmt.Fprintf(&b, "%s\n", p.ylab)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = pad(yTop, margin)
+		}
+		if r == p.height-1 {
+			label = pad(yBot, margin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", p.width))
+	xTop := fmt.Sprintf("%.4g", xmin)
+	xEnd := fmt.Sprintf("%.4g", xmax)
+	gap := p.width - len(xTop) - len(xEnd)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", margin), xTop, strings.Repeat(" ", gap), xEnd)
+	if p.xlab != "" {
+		fmt.Fprintf(&b, "  (%s)", p.xlab)
+	}
+	b.WriteString("\n")
+	// Legend.
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func minMax(xs []float64) (float64, float64) {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

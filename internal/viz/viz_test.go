@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := NewPlot("title", "x", "y", 30, 10)
+	p.Add(Series{Name: "a", Points: []Point{{0, 0}, {10, 10}}})
+	p.Add(Series{Name: "b", Points: []Point{{5, 2}}})
+	out := p.Render()
+	if !strings.Contains(out, "title") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("glyphs missing")
+	}
+	if !strings.Contains(out, "(x)") || !strings.Contains(out, "y") {
+		t.Fatal("axis labels missing")
+	}
+	// Axis ranges appear.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "0") {
+		t.Fatal("ranges missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := NewPlot("empty", "", "", 20, 8)
+	if !strings.Contains(p.Render(), "(no data)") {
+		t.Fatal("empty plot not flagged")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// All points identical: ranges must not divide by zero.
+	p := NewPlot("", "", "", 20, 8)
+	p.Add(Series{Name: "s", Points: []Point{{3, 3}, {3, 3}}})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("point missing:\n%s", out)
+	}
+}
+
+func TestCornerPlacement(t *testing.T) {
+	p := NewPlot("", "", "", 21, 9)
+	p.Add(Series{Name: "s", Points: []Point{{0, 0}, {20, 8}}})
+	out := p.Render()
+	lines := strings.Split(out, "\n")
+	// First grid row (index 0 here: no title/ylab) holds the max-y point
+	// at the right edge.
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 9 {
+		t.Fatalf("grid rows = %d:\n%s", len(gridLines), out)
+	}
+	if !strings.HasSuffix(gridLines[0], "*") {
+		t.Fatalf("top-right point missing: %q", gridLines[0])
+	}
+	bottom := gridLines[len(gridLines)-1]
+	if bottom[strings.Index(bottom, "|")+1] != '*' {
+		t.Fatalf("bottom-left point missing: %q", bottom)
+	}
+}
+
+func TestMinimumDimensionsClamped(t *testing.T) {
+	p := NewPlot("", "", "", 1, 1)
+	p.Add(Series{Name: "s", Points: []Point{{0, 0}}})
+	out := p.Render()
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+	// Must not panic and must contain the single glyph.
+	if !strings.Contains(out, "*") {
+		t.Fatal("glyph missing")
+	}
+}
+
+func TestGlyphCycling(t *testing.T) {
+	p := NewPlot("", "", "", 20, 8)
+	for i := 0; i < 10; i++ {
+		p.Add(Series{Name: "s", Points: []Point{{float64(i), float64(i)}}})
+	}
+	out := p.Render()
+	// 10 series cycle through 8 glyphs: the 9th reuses '*'.
+	if strings.Count(out, "* s") != 2 {
+		t.Fatalf("glyph cycling wrong:\n%s", out)
+	}
+}
