@@ -1,0 +1,34 @@
+# Verify loop for the dima module. `make check` is the full gate run
+# before every commit: build, vet, the complete test suite, and the
+# goroutine runtime under the race detector.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt fmt-check bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails (and lists the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: build vet fmt-check test race

@@ -14,11 +14,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"dima/internal/core"
 	"dima/internal/experiment"
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/metrics"
+	"dima/internal/rng"
 	"dima/internal/stats"
+	"dima/internal/trace"
 	"dima/internal/viz"
 )
 
@@ -73,8 +80,22 @@ func main() {
 		csvPath = flag.String("csv", "", "also write the rounds series as CSV")
 		savePth = flag.String("save", "", "persist raw runs as JSON (per figure: <fig>-<name>)")
 		plot    = flag.Bool("plot", true, "render ASCII rounds-vs-Δ scatter plots")
+
+		metricsOut = flag.String("metrics-out", "", "telemetry experiment: write per-round JSONL (files prefixed alg1-/alg2-)")
+		traceOut   = flag.String("trace-out", "", "telemetry experiment: write Chrome traces (files prefixed alg1-/alg2-)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and a /metrics endpoint on this address for the run")
 	)
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *pprofAddr != "" {
+		reg = metrics.NewRegistry()
+		addr, err := metrics.StartDebugServer(*pprofAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dimabench: pprof and /metrics at http://%s\n", addr)
+	}
 
 	selected := map[string]bool{}
 	for _, f := range strings.Split(*exp, ",") {
@@ -257,9 +278,118 @@ func main() {
 		fmt.Println("sized to the worst-case conflict degree (global knowledge).")
 		fmt.Println()
 	}
-	if !anyRan {
-		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, fits, all)", *exp))
+	if runAll || selected["telemetry"] {
+		anyRan = true
+		runTelemetry(*seed, reg, *metricsOut, *traceOut)
 	}
+	if !anyRan {
+		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, all)", *exp))
+	}
+}
+
+// runTelemetry executes one instrumented run of each algorithm on the
+// convergence experiments' reference graph (ER, n=200, avg degree 8)
+// and prints the per-round picture the aggregate tables hide: activity
+// decay, pairing, palette growth, and traffic. With -metrics-out /
+// -trace-out the full streams are persisted (one file per algorithm,
+// prefixed alg1-/alg2-, following the -save naming convention).
+func runTelemetry(seed uint64, reg *metrics.Registry, metricsOut, traceOut string) {
+	fmt.Println("== telemetry — instrumented single runs: per-round convergence, palette growth, and traffic")
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(seed), 200, 8)
+	if err != nil {
+		fatal(err)
+	}
+	for _, arm := range []struct {
+		prefix, label string
+		strong        bool
+	}{
+		{"alg1", "algorithm 1 (er n=200 deg=8)", false},
+		{"alg2", "algorithm 2 (dir-er n=200 deg=8)", true},
+	} {
+		mem := &metrics.Memory{}
+		sinks := []metrics.Sink{mem}
+		var jsonl *metrics.JSONLWriter
+		var jsonlFile *os.File
+		var jsonlName string
+		if metricsOut != "" {
+			jsonlName = prefixed(arm.prefix, metricsOut)
+			jsonlFile, err = os.Create(jsonlName)
+			if err != nil {
+				fatal(err)
+			}
+			jsonl = metrics.NewJSONLWriter(jsonlFile)
+			sinks = append(sinks, jsonl)
+		}
+		if reg != nil {
+			sinks = append(sinks, metrics.NewRoundAggregator(reg))
+		}
+		opt := core.Options{Seed: seed, Metrics: metrics.Multi(sinks...)}
+		var rec *trace.Recorder
+		if traceOut != "" {
+			rec = trace.NewRecorder(0)
+			opt.Hook = rec.Hook()
+		}
+		var res *core.Result
+		if arm.strong {
+			res, err = core.ColorStrong(graph.NewSymmetric(g), opt)
+		} else {
+			res, err = core.ColorEdges(g, opt)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s: rounds=%d colors=%d messages=%d terminated=%v\n",
+			arm.label, res.CompRounds, res.NumColors, res.Messages, res.Terminated)
+		fmt.Println(telemetryTable(mem.Rounds, len(res.Colors)).String())
+		if jsonl != nil {
+			if err := jsonl.Flush(); err != nil {
+				fatal(err)
+			}
+			jsonlFile.Close()
+			fmt.Printf("wrote %s (%d rounds)\n", jsonlName, jsonl.Rounds())
+		}
+		if rec != nil {
+			name := prefixed(arm.prefix, traceOut)
+			f, err := os.Create(name)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.ChromeTrace(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s (%d events, load at ui.perfetto.dev)\n", name, rec.Len())
+		}
+	}
+	fmt.Println()
+}
+
+// prefixed inserts an algorithm prefix into a path's file name:
+// prefixed("alg1", "out/run.jsonl") -> "out/alg1-run.jsonl".
+func prefixed(prefix, path string) string {
+	return filepath.Join(filepath.Dir(path), prefix+"-"+filepath.Base(path))
+}
+
+// telemetryTable samples the round stream down to ~12 rows (always
+// keeping the final round) so the convergence shape is readable.
+func telemetryTable(rounds []metrics.RoundStats, items int) *stats.Table {
+	t := stats.NewTable("round", "active", "inviters", "paired", "colored", "cum%", "colors", "messages", "bytes")
+	step := (len(rounds) + 11) / 12
+	if step < 1 {
+		step = 1
+	}
+	for i, rs := range rounds {
+		if i%step != 0 && i != len(rounds)-1 {
+			continue
+		}
+		cum := "-"
+		if items > 0 {
+			cum = fmt.Sprintf("%.0f%%", 100*float64(rs.ColoredTotal)/float64(items))
+		}
+		t.AddRow(rs.Round, rs.Active, rs.Inviters, rs.Paired, rs.Colored, cum,
+			rs.NumColors, rs.Messages, rs.Bytes)
+	}
+	return t
 }
 
 // plotRuns renders the figure's scatter: one point per run, one series

@@ -18,10 +18,12 @@ import (
 	"os"
 	"strconv"
 
+	"dima/internal/automaton"
 	"dima/internal/baseline"
 	"dima/internal/core"
 	"dima/internal/graph"
 	"dima/internal/graphio"
+	"dima/internal/metrics"
 	"dima/internal/mpr"
 	"dima/internal/net"
 	"dima/internal/stats"
@@ -42,6 +44,10 @@ func main() {
 		showTr   = flag.Bool("trace", false, "print per-node automaton timelines (small graphs)")
 		maxComp  = flag.Int("max-rounds", 0, "computation round cap (0 = default)")
 		noVerify = flag.Bool("no-verify", false, "skip the validity check")
+
+		metricsOut = flag.String("metrics-out", "", "write per-round telemetry as JSON Lines to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace (Perfetto-compatible) of the automaton timelines to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and a /metrics endpoint on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -67,18 +73,53 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown color rule %q", *rule))
 	}
-	var rec *trace.Recorder
-	if *showTr {
-		rec = trace.NewRecorder(0)
-		opt.Hook = rec.Hook()
-	}
-
 	if *strong && *algo != "dima" {
 		fatal(fmt.Errorf("-strong requires -algo dima"))
 	}
+	if (*metricsOut != "" || *traceOut != "" || *pprofAddr != "") && *algo != "dima" {
+		fatal(fmt.Errorf("-metrics-out, -trace-out, and -pprof require -algo dima"))
+	}
+
+	var rec *trace.Recorder
+	if *showTr || *traceOut != "" {
+		rec = trace.NewRecorder(0)
+	}
+	var reg *metrics.Registry
+	if *pprofAddr != "" {
+		reg = metrics.NewRegistry()
+		addr, err := metrics.StartDebugServer(*pprofAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dimacolor: pprof and /metrics at http://%s\n", addr)
+	}
+	var jsonl *metrics.JSONLWriter
+	var sinks []metrics.Sink
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		jsonl = metrics.NewJSONLWriter(f)
+		sinks = append(sinks, jsonl)
+	}
+	if reg != nil {
+		sinks = append(sinks, metrics.NewRoundAggregator(reg))
+	}
+	opt.Metrics = metrics.Multi(sinks...)
+	var hooks []automaton.Hook
+	if rec != nil {
+		hooks = append(hooks, rec.Hook())
+	}
+	if reg != nil {
+		hooks = append(hooks, metrics.StateCountHook(reg))
+	}
+	opt.Hook = metrics.ChainHooks(hooks...)
+
 	if *reps > 1 {
-		if *jsonOut != "" || *showTr {
-			fatal(fmt.Errorf("-reps does not combine with -json or -trace"))
+		if *jsonOut != "" || *showTr || *metricsOut != "" || *traceOut != "" {
+			fatal(fmt.Errorf("-reps does not combine with -json, -trace, -metrics-out, or -trace-out"))
 		}
 		runStats(g, opt, *algo, *strong, *reps)
 		return
@@ -160,12 +201,32 @@ func main() {
 		fmt.Printf("confirm exchange dropped %d tentative claims\n", res.ConflictsDropped)
 	}
 
-	if rec != nil {
+	if *showTr {
 		fmt.Println("\nautomaton timelines:")
 		fmt.Print(rec.Timeline())
 		if err := rec.Validate(); err != nil {
 			fatal(err)
 		}
+	}
+
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry: %d rounds -> %s\n", jsonl.Rounds(), *metricsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.ChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s (load at ui.perfetto.dev)\n", rec.Len(), *traceOut)
 	}
 
 	if *jsonOut != "" {

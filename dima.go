@@ -29,16 +29,20 @@
 package dima
 
 import (
+	"io"
+
 	"dima/internal/automaton"
 	"dima/internal/baseline"
 	"dima/internal/core"
 	"dima/internal/gen"
 	"dima/internal/graph"
 	"dima/internal/matching"
+	"dima/internal/metrics"
 	"dima/internal/mpr"
 	"dima/internal/msg"
 	"dima/internal/net"
 	"dima/internal/rng"
+	"dima/internal/trace"
 	"dima/internal/verify"
 )
 
@@ -97,6 +101,35 @@ func ColorEdges(g *Graph, opt Options) (*Result, error) {
 func ColorStrong(d *Digraph, opt Options) (*Result, error) {
 	return core.ColorStrong(d, opt)
 }
+
+// RoundStats is one computation round of a run's telemetry stream (see
+// Options.Metrics and docs/OBSERVABILITY.md).
+type RoundStats = metrics.RoundStats
+
+// MetricsSink receives the per-round telemetry stream; assign one to
+// Options.Metrics. MemorySink retains the stream in order; NewJSONLSink
+// streams it as JSON Lines.
+type (
+	MetricsSink = metrics.Sink
+	MemorySink  = metrics.Memory
+)
+
+// NewJSONLSink returns a sink writing one JSON object per computation
+// round to w; call Flush when the run completes.
+func NewJSONLSink(w io.Writer) *metrics.JSONLWriter { return metrics.NewJSONLWriter(w) }
+
+// MultiSink fans the telemetry stream out to several sinks (nil entries
+// are skipped).
+func MultiSink(sinks ...MetricsSink) MetricsSink { return metrics.Multi(sinks...) }
+
+// TraceRecorder captures automaton state transitions; wire its Hook
+// into Options.Hook and render with Timeline or ChromeTrace (a
+// Perfetto-compatible trace of per-node state timelines).
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a recorder keeping at most limit events
+// (0 = unlimited).
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
 
 // Pairing is the extension point of the matching-discovery framework:
 // implement it to run a new problem on the paper's automaton. The

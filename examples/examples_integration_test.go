@@ -32,6 +32,7 @@ func TestExamples(t *testing.T) {
 		"vertexcover": {"maximal matching", "cover verified"},
 		"asyncnet":    {"α-synchronizer effect", "palette trade"},
 		"datafusion":  {"total quality", "top fusion pairs"},
+		"telemetry":   {"per-round metrics written to", "ui.perfetto.dev", "colors"},
 	}
 	for name, wants := range cases {
 		name, wants := name, wants

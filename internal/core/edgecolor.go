@@ -34,9 +34,15 @@ func ColorEdges(g *graph.Graph, opt Options) (*Result, error) {
 		ecs[u] = newECNode(g, u, base.Derive(uint64(u)), &opt)
 		nodes[u] = ecs[u]
 	}
+	var traffic []net.RoundTraffic
+	var observe net.RoundObserver
+	if opt.Metrics != nil {
+		observe = func(rt net.RoundTraffic) { traffic = append(traffic, rt) }
+	}
 	netRes, err := opt.engine()(g, nodes, net.Config{
 		MaxRounds: ecPhases * opt.maxCompRounds(),
 		Fault:     opt.Fault,
+		Observe:   observe,
 	})
 	if err != nil {
 		return nil, err
@@ -80,6 +86,13 @@ func ColorEdges(g *graph.Graph, opt Options) (*Result, error) {
 			return ecs[u].paired
 		}, g.N())
 	}
+	if opt.Metrics != nil {
+		tels := make([]*nodeTelemetry, len(ecs))
+		for i, n := range ecs {
+			tels[i] = &n.tel
+		}
+		emitRoundStats(opt.Metrics, traffic, tels, ecPhases, g.M(), g.N())
+	}
 	if res.Terminated {
 		for e, c := range res.Colors {
 			if c < 0 {
@@ -114,6 +127,12 @@ type ecNode struct {
 
 	defensiveRejects int
 
+	// Telemetry (Options.Metrics): obs gates all event logging, curRound
+	// is the computation round of the current Step.
+	obs      bool
+	curRound int
+	tel      nodeTelemetry
+
 	// Participation log (Options.CollectParticipation): one entry per
 	// computation round this node was active in; true if it paired.
 	paired []bool
@@ -124,6 +143,7 @@ func newECNode(g *graph.Graph, u int, r *rng.Rand, opt *Options) *ecNode {
 		id:       u,
 		g:        g,
 		opt:      opt,
+		obs:      opt.Metrics != nil,
 		r:        r,
 		mach:     automaton.NewMachine(u, opt.Hook),
 		colors:   make(map[graph.EdgeID]int, g.Degree(u)),
@@ -154,6 +174,9 @@ func (n *ecNode) Step(round int, inbox []msg.Message) []msg.Message {
 	if n.Done() {
 		return nil
 	}
+	if n.obs {
+		n.curRound = round / ecPhases
+	}
 	switch round % ecPhases {
 	case 0:
 		return n.phaseChooseInvite(inbox)
@@ -181,11 +204,19 @@ func (n *ecNode) phaseChooseInvite(inbox []msg.Message) []msg.Message {
 	if n.opt.CollectParticipation {
 		n.paired = append(n.paired, false)
 	}
+	var ev *nodeRoundEvents
+	if n.obs {
+		ev = n.tel.at(n.curRound)
+		ev.active++
+	}
 	// C state: coin toss (line 1.8).
 	if n.r.Bool() {
 		// Inviter: random uncolored edge, lowest available color
 		// (lines 1.10–1.12).
 		n.mach.MustTransition(automaton.Invite)
+		if ev != nil {
+			ev.invited++
+		}
 		e := n.uncolored[n.r.Intn(len(n.uncolored))]
 		v := n.g.EdgeAt(e).Other(n.id)
 		c := n.proposeColor(n.usedNbr[n.nbrIndex[v]])
@@ -195,6 +226,9 @@ func (n *ecNode) phaseChooseInvite(inbox []msg.Message) []msg.Message {
 		}}
 	}
 	n.mach.MustTransition(automaton.Listen)
+	if ev != nil {
+		ev.listened++
+	}
 	return nil
 }
 
@@ -228,7 +262,7 @@ func (n *ecNode) phaseRespond(inbox []msg.Message) []msg.Message {
 		if !n.usedSelf.Has(m.Color) && n.isUncolored(graph.EdgeID(m.Edge)) {
 			valid = append(valid, m)
 		} else {
-			n.defensiveRejects++
+			n.reject()
 		}
 	}
 	if len(valid) == 0 {
@@ -255,7 +289,7 @@ func (n *ecNode) phaseUpdateExchange(inbox []msg.Message) []msg.Message {
 			} else {
 				// A response for my edge with mismatched partner or
 				// color cannot occur under the protocol.
-				n.defensiveRejects++
+				n.reject()
 			}
 		}
 		n.mach.MustTransition(automaton.Update)
@@ -282,11 +316,23 @@ func (n *ecNode) phaseUpdateExchange(inbox []msg.Message) []msg.Message {
 	return out
 }
 
+// reject counts a responder-side defensive rejection.
+func (n *ecNode) reject() {
+	n.defensiveRejects++
+	if n.obs {
+		n.tel.at(n.curRound).rejects++
+	}
+}
+
 // assign colors edge e with c, updating the live/dead bookkeeping and
 // queueing the exchange broadcast.
 func (n *ecNode) assign(e graph.EdgeID, c int, partner int) {
 	if n.opt.CollectParticipation && len(n.paired) > 0 {
 		n.paired[len(n.paired)-1] = true
+	}
+	if n.obs {
+		n.tel.at(n.curRound).paired++
+		n.tel.assigns = append(n.tel.assigns, assignEvent{round: n.curRound, item: int(e), color: c})
 	}
 	n.colors[e] = c
 	n.usedSelf.Add(c)

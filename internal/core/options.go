@@ -2,6 +2,7 @@ package core
 
 import (
 	"dima/internal/automaton"
+	"dima/internal/metrics"
 	"dima/internal/net"
 )
 
@@ -67,6 +68,13 @@ type Options struct {
 	// counters (Result.Participation), used to measure the pairing
 	// probability of the paper's Proposition 1 / Equation (1).
 	CollectParticipation bool
+	// Metrics, when non-nil, receives one metrics.RoundStats per
+	// computation round after the run completes: automaton activity,
+	// pairing and palette progress, and traffic split by message kind.
+	// Summed over the stream, the traffic and conflict fields equal this
+	// Result's aggregates, on either engine. Nil (the default) skips all
+	// per-round accounting.
+	Metrics metrics.Sink
 }
 
 // Participation counts, for one computation round, how many nodes were

@@ -39,9 +39,15 @@ func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
 		scs[u] = newSCNode(d, u, base.Derive(uint64(u)), &opt)
 		nodes[u] = scs[u]
 	}
+	var traffic []net.RoundTraffic
+	var observe net.RoundObserver
+	if opt.Metrics != nil {
+		observe = func(rt net.RoundTraffic) { traffic = append(traffic, rt) }
+	}
 	netRes, err := opt.engine()(g, nodes, net.Config{
 		MaxRounds: scPhases * opt.maxCompRounds(),
 		Fault:     opt.Fault,
+		Observe:   observe,
 	})
 	if err != nil {
 		return nil, err
@@ -82,6 +88,13 @@ func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
 			return scs[u].paired
 		}, g.N())
 	}
+	if opt.Metrics != nil {
+		tels := make([]*nodeTelemetry, len(scs))
+		for i, n := range scs {
+			tels[i] = &n.tel
+		}
+		emitRoundStats(opt.Metrics, traffic, tels, scPhases, d.A(), g.N())
+	}
 	if res.Terminated {
 		for a, c := range res.Colors {
 			if c < 0 {
@@ -95,11 +108,12 @@ func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
 
 // scClaim is a tentative pairing awaiting the confirm exchange.
 type scClaim struct {
-	arc      graph.ArcID
-	color    int
-	partner  int
-	keep     bool
-	roundIdx int // index into the participation log (-1 when disabled)
+	arc       graph.ArcID
+	color     int
+	partner   int
+	keep      bool
+	roundIdx  int // index into the participation log (-1 when disabled)
+	compRound int // computation round the claim formed in (telemetry)
 }
 
 // scNode is one vertex of Algorithm 2.
@@ -146,6 +160,12 @@ type scNode struct {
 	defensiveRejects int
 	conflictsDropped int
 
+	// Telemetry (Options.Metrics): obs gates all event logging, curRound
+	// is the computation round of the current Step.
+	obs      bool
+	curRound int
+	tel      nodeTelemetry
+
 	// Participation log (Options.CollectParticipation): one entry per
 	// computation round this node was active in; true if a claim formed
 	// in that round was finalized.
@@ -158,6 +178,7 @@ func newSCNode(d *graph.Digraph, u int, r *rng.Rand, opt *Options) *scNode {
 		id:        u,
 		d:         d,
 		opt:       opt,
+		obs:       opt.Metrics != nil,
 		r:         r,
 		mach:      automaton.NewMachine(u, opt.Hook),
 		colors:    make(map[graph.ArcID]int, 2*g.Degree(u)),
@@ -189,6 +210,9 @@ func (n *scNode) Done() bool { return n.mach.State() == automaton.Done }
 func (n *scNode) Step(round int, inbox []msg.Message) []msg.Message {
 	if n.Done() {
 		return nil
+	}
+	if n.obs {
+		n.curRound = round / scPhases
 	}
 	switch round % scPhases {
 	case 0:
@@ -228,11 +252,19 @@ func (n *scNode) phaseChooseInvite(compRound int, inbox []msg.Message) []msg.Mes
 	if n.opt.CollectParticipation {
 		n.paired = append(n.paired, false)
 	}
+	var ev *nodeRoundEvents
+	if n.obs {
+		ev = n.tel.at(compRound)
+		ev.active++
+	}
 	// Coin toss; a node with no uncolored outgoing arcs has nothing to
 	// invite on and always listens (its remaining incoming arcs are
 	// colored when the respective neighbors invite).
 	if n.r.Bool() && len(n.uncoloredOut) > 0 {
 		n.mach.MustTransition(automaton.Invite)
+		if ev != nil {
+			ev.invited++
+		}
 		a := n.uncoloredOut[n.r.Intn(len(n.uncoloredOut))]
 		v := n.d.ArcAt(a).To
 		c := n.proposeColor(a, v)
@@ -243,6 +275,9 @@ func (n *scNode) phaseChooseInvite(compRound int, inbox []msg.Message) []msg.Mes
 		}}
 	}
 	n.mach.MustTransition(automaton.Listen)
+	if ev != nil {
+		ev.listened++
+	}
 	return nil
 }
 
@@ -309,19 +344,40 @@ func (n *scNode) applyDecides(inbox []msg.Message) {
 	cl := n.claim
 	n.claim = nil
 	if !cl.keep {
-		n.conflictsDropped++
+		n.drop(cl)
 		return
 	}
 	if !partnerSeen || !partnerKeep {
 		// Partner withdrew (or, under injected faults, its decision was
 		// lost): the arc stays uncolored and is retried.
-		n.conflictsDropped++
+		n.drop(cl)
 		return
 	}
 	if cl.roundIdx >= 0 && cl.roundIdx < len(n.paired) {
 		n.paired[cl.roundIdx] = true
 	}
+	if n.obs {
+		n.tel.at(cl.compRound).paired++
+		n.tel.assigns = append(n.tel.assigns, assignEvent{round: cl.compRound, item: int(cl.arc), color: cl.color})
+	}
 	n.finalize(cl.arc, cl.color)
+}
+
+// drop withdraws a claim, attributing the conflict to the round the
+// claim formed in so the telemetry stream matches Participation.
+func (n *scNode) drop(cl *scClaim) {
+	n.conflictsDropped++
+	if n.obs {
+		n.tel.at(cl.compRound).dropped++
+	}
+}
+
+// reject counts a defensive rejection at the current round.
+func (n *scNode) reject() {
+	n.defensiveRejects++
+	if n.obs {
+		n.tel.at(n.curRound).rejects++
+	}
 }
 
 // partIdx returns the current participation-log index (-1 if logging is
@@ -347,7 +403,7 @@ func (n *scNode) markDead(c int) {
 // finalize records the color of an incident arc.
 func (n *scNode) finalize(a graph.ArcID, c int) {
 	if _, dup := n.colors[a]; dup {
-		n.defensiveRejects++
+		n.reject()
 		return
 	}
 	n.colors[a] = c
@@ -383,7 +439,7 @@ func (n *scNode) phaseRespond(inbox []msg.Message) []msg.Message {
 	for _, m := range mine {
 		a := graph.ArcID(m.Edge)
 		if _, already := n.colors[a]; already || n.d.ArcAt(a).To != n.id {
-			n.defensiveRejects++
+			n.reject()
 			continue
 		}
 		// A channel forbidden in this node's closed neighborhood is a
@@ -412,7 +468,8 @@ func (n *scNode) phaseRespond(inbox []msg.Message) []msg.Message {
 		return nil
 	}
 	m := valid[n.r.Intn(len(valid))]
-	n.claim = &scClaim{arc: graph.ArcID(m.Edge), color: m.Color, partner: m.From, keep: true, roundIdx: n.partIdx()}
+	n.claim = &scClaim{arc: graph.ArcID(m.Edge), color: m.Color, partner: m.From, keep: true,
+		roundIdx: n.partIdx(), compRound: n.curRound}
 	return []msg.Message{{
 		Kind: msg.KindResponse, From: n.id, To: m.From, Edge: m.Edge, Color: m.Color,
 	}}
@@ -427,9 +484,10 @@ func (n *scNode) phaseClaim(inbox []msg.Message) []msg.Message {
 	case automaton.Wait:
 		if m, ok, _ := automaton.FindResponse(n.id, int(n.inviteArc), inbox); ok {
 			if m.From == n.inviteTo && m.Color == n.inviteColor {
-				n.claim = &scClaim{arc: n.inviteArc, color: n.inviteColor, partner: n.inviteTo, keep: true, roundIdx: n.partIdx()}
+				n.claim = &scClaim{arc: n.inviteArc, color: n.inviteColor, partner: n.inviteTo, keep: true,
+					roundIdx: n.partIdx(), compRound: n.curRound}
 			} else {
-				n.defensiveRejects++
+				n.reject()
 			}
 		}
 		n.mach.MustTransition(automaton.Update)
@@ -447,6 +505,10 @@ func (n *scNode) phaseClaim(inbox []msg.Message) []msg.Message {
 		n.claim = nil
 		if cl.roundIdx >= 0 && cl.roundIdx < len(n.paired) {
 			n.paired[cl.roundIdx] = true
+		}
+		if n.obs {
+			n.tel.at(cl.compRound).paired++
+			n.tel.assigns = append(n.tel.assigns, assignEvent{round: cl.compRound, item: int(cl.arc), color: cl.color})
 		}
 		n.finalize(cl.arc, cl.color)
 		return []msg.Message{{

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/metrics"
+	"dima/internal/net"
+	"dima/internal/rng"
+)
+
+// telemetryGraphs is the test corpus for the RoundStats invariants: an
+// Erdős–Rényi graph and a random regular graph, per the paper's two
+// experimental graph families.
+func telemetryGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	er, err := gen.ErdosRenyiAvgDegree(rng.New(7), 60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := gen.RandomRegular(rng.New(8), 48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{"er": er, "regular": reg}
+}
+
+// runWithMetrics executes one algorithm with a Memory sink attached.
+func runWithMetrics(t *testing.T, algo string, g *graph.Graph, opt Options) (*Result, []metrics.RoundStats) {
+	t.Helper()
+	mem := &metrics.Memory{}
+	opt.Metrics = mem
+	var res *Result
+	if algo == "strong" {
+		res = mustColorStrong(t, graph.NewSymmetric(g), opt)
+	} else {
+		res = mustColorEdges(t, g, opt)
+	}
+	return res, mem.Rounds
+}
+
+// TestRoundStatsTotalsMatchResult is the headline acceptance check:
+// RoundStats summed over the stream reproduces the Result aggregates,
+// for both algorithms on both engines.
+func TestRoundStatsTotalsMatchResult(t *testing.T) {
+	engines := map[string]net.Engine{"sync": net.RunSync, "chan": net.RunChan}
+	for gname, g := range telemetryGraphs(t) {
+		for _, algo := range []string{"edges", "strong"} {
+			for ename, eng := range engines {
+				res, rounds := runWithMetrics(t, algo, g, Options{Seed: 11, Engine: eng})
+				name := gname + "/" + algo + "/" + ename
+				if len(rounds) != res.CompRounds {
+					t.Fatalf("%s: %d RoundStats for %d comp rounds", name, len(rounds), res.CompRounds)
+				}
+				var messages, deliveries, bytes int64
+				var commRounds, conflicts, rejects, paired int
+				for i, rs := range rounds {
+					if rs.Round != i {
+						t.Fatalf("%s: round %d labeled %d", name, i, rs.Round)
+					}
+					messages += rs.Messages
+					deliveries += rs.Deliveries
+					bytes += rs.Bytes
+					commRounds += rs.CommRounds
+					conflicts += rs.ConflictsDropped
+					rejects += rs.DefensiveRejects
+					paired += rs.Paired
+					var km, kd, kb int64
+					for _, kt := range rs.ByKind {
+						km += kt.Messages
+						kd += kt.Deliveries
+						kb += kt.Bytes
+					}
+					if km != rs.Messages || kd != rs.Deliveries || kb != rs.Bytes {
+						t.Fatalf("%s: round %d ByKind split does not re-sum: %+v", name, i, rs)
+					}
+				}
+				if messages != res.Messages || deliveries != res.Deliveries || bytes != res.Bytes {
+					t.Fatalf("%s: traffic %d/%d/%d != result %d/%d/%d", name,
+						messages, deliveries, bytes, res.Messages, res.Deliveries, res.Bytes)
+				}
+				if commRounds != res.CommRounds {
+					t.Fatalf("%s: comm rounds %d != %d", name, commRounds, res.CommRounds)
+				}
+				if conflicts != res.ConflictsDropped || rejects != res.DefensiveRejects {
+					t.Fatalf("%s: conflicts/rejects %d/%d != %d/%d", name,
+						conflicts, rejects, res.ConflictsDropped, res.DefensiveRejects)
+				}
+				// Each pairing colors one item and involves the two
+				// endpoints logging one assignment each, so Paired summed
+				// over rounds is twice the item count... except that each
+				// node pairs at most once per round, so Paired counts
+				// node-pairings: 2 per colored item.
+				last := rounds[len(rounds)-1]
+				wantItems := len(res.Colors)
+				if last.ColoredTotal != wantItems {
+					t.Fatalf("%s: ColoredTotal %d != %d items", name, last.ColoredTotal, wantItems)
+				}
+				if paired != 2*wantItems {
+					t.Fatalf("%s: paired sum %d != 2×%d", name, paired, wantItems)
+				}
+				if last.NumColors != res.NumColors || last.MaxColor != res.MaxColor {
+					t.Fatalf("%s: palette %d/%d != %d/%d", name,
+						last.NumColors, last.MaxColor, res.NumColors, res.MaxColor)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundStatsEngineEquivalence: identical seeds produce a
+// byte-identical RoundStats stream on both engines (satellite of the
+// sync/chan equivalence property).
+func TestRoundStatsEngineEquivalence(t *testing.T) {
+	for gname, g := range telemetryGraphs(t) {
+		for _, algo := range []string{"edges", "strong"} {
+			_, syncRounds := runWithMetrics(t, algo, g, Options{Seed: 23, Engine: net.RunSync})
+			_, chanRounds := runWithMetrics(t, algo, g, Options{Seed: 23, Engine: net.RunChan})
+			if !reflect.DeepEqual(syncRounds, chanRounds) {
+				t.Fatalf("%s/%s: RoundStats streams diverge between engines\nsync: %+v\nchan: %+v",
+					gname, algo, syncRounds, chanRounds)
+			}
+		}
+	}
+}
+
+// TestRoundStatsMatchParticipation: with both collectors enabled, the
+// stream's Active/Paired equal Result.Participation exactly, and the
+// per-round structural invariants hold.
+func TestRoundStatsMatchParticipation(t *testing.T) {
+	for gname, g := range telemetryGraphs(t) {
+		for _, algo := range []string{"edges", "strong"} {
+			res, rounds := runWithMetrics(t, algo, g, Options{Seed: 31, CollectParticipation: true})
+			name := gname + "/" + algo
+			if len(res.Participation) != len(rounds) {
+				t.Fatalf("%s: %d participation rounds, %d RoundStats",
+					name, len(res.Participation), len(rounds))
+			}
+			for i, rs := range rounds {
+				p := res.Participation[i]
+				if rs.Active != p.Active || rs.Paired != p.Paired {
+					t.Fatalf("%s: round %d stats %d/%d != participation %d/%d",
+						name, i, rs.Active, rs.Paired, p.Active, p.Paired)
+				}
+			}
+		}
+	}
+}
+
+// TestParticipationInvariants covers Options.CollectParticipation on
+// ER and regular graphs for both algorithms: Active never increases
+// and Paired never exceeds Active.
+func TestParticipationInvariants(t *testing.T) {
+	for gname, g := range telemetryGraphs(t) {
+		for _, algo := range []string{"edges", "strong"} {
+			opt := Options{Seed: 43, CollectParticipation: true}
+			var res *Result
+			if algo == "strong" {
+				res = mustColorStrong(t, graph.NewSymmetric(g), opt)
+			} else {
+				res = mustColorEdges(t, g, opt)
+			}
+			name := gname + "/" + algo
+			if len(res.Participation) == 0 {
+				t.Fatalf("%s: no participation data", name)
+			}
+			prev := g.N() + 1
+			for i, p := range res.Participation {
+				if p.Active > prev {
+					t.Fatalf("%s: Active increased at round %d: %d > %d", name, i, p.Active, prev)
+				}
+				if p.Paired > p.Active {
+					t.Fatalf("%s: round %d Paired %d > Active %d", name, i, p.Paired, p.Active)
+				}
+				if p.Active < 0 || p.Paired < 0 {
+					t.Fatalf("%s: negative counts at round %d: %+v", name, i, p)
+				}
+				prev = p.Active
+			}
+		}
+	}
+}
+
+// TestRoundStatsStructural checks the per-round fields that don't map
+// to a Result aggregate: the inviter/listener split, Done complement,
+// and monotone palette growth.
+func TestRoundStatsStructural(t *testing.T) {
+	g := telemetryGraphs(t)["er"]
+	for _, algo := range []string{"edges", "strong"} {
+		_, rounds := runWithMetrics(t, algo, g, Options{Seed: 53})
+		prevColored, prevColors := 0, 0
+		for i, rs := range rounds {
+			if rs.Inviters+rs.Listeners != rs.Active {
+				t.Fatalf("%s: round %d inviters %d + listeners %d != active %d",
+					algo, i, rs.Inviters, rs.Listeners, rs.Active)
+			}
+			if rs.Done != g.N()-rs.Active {
+				t.Fatalf("%s: round %d done %d != %d - active %d", algo, i, rs.Done, g.N(), rs.Active)
+			}
+			if rs.ColoredTotal < prevColored || rs.NumColors < prevColors {
+				t.Fatalf("%s: round %d progress went backwards: %+v", algo, i, rs)
+			}
+			prevColored, prevColors = rs.ColoredTotal, rs.NumColors
+		}
+	}
+}
+
+// TestMetricsNilSinkUnchanged: enabling metrics must not perturb the
+// run itself — same seed with and without a sink yields the same
+// coloring and traffic (the telemetry draws no randomness).
+func TestMetricsNilSinkUnchanged(t *testing.T) {
+	g := telemetryGraphs(t)["er"]
+	plain := mustColorEdges(t, g, Options{Seed: 61})
+	observed, _ := runWithMetrics(t, "edges", g, Options{Seed: 61})
+	if !reflect.DeepEqual(plain.Colors, observed.Colors) ||
+		plain.Messages != observed.Messages || plain.CompRounds != observed.CompRounds {
+		t.Fatal("attaching a metrics sink changed the run")
+	}
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	stdnet "net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// StartDebugServer serves live diagnostics on addr (host:port; a :0
+// port picks a free one) and returns the bound address:
+//
+//	/debug/pprof/   the standard net/http/pprof profile index
+//	/metrics        reg's instruments (when non-nil) plus Go runtime
+//	                stats, in the plain-text format of Registry.WriteText
+//
+// The listener runs until the process exits — it backs the CLIs' -pprof
+// flag, which is fire-and-forget by design.
+func StartDebugServer(addr string, reg *Registry) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if reg != nil {
+			if err := reg.WriteText(w); err != nil {
+				return
+			}
+		}
+		writeRuntimeStats(w)
+	})
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics: debug server: %w", err)
+	}
+	go func() {
+		// Serve returns only on listener failure; the process owns the
+		// listener for its remaining lifetime.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// writeRuntimeStats appends the Go runtime gauges every profiling
+// session wants next to the protocol metrics.
+func writeRuntimeStats(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "go_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "go_heap_objects %d\n", ms.HeapObjects)
+	fmt.Fprintf(w, "go_total_alloc_bytes %d\n", ms.TotalAlloc)
+	fmt.Fprintf(w, "go_num_gc %d\n", ms.NumGC)
+}

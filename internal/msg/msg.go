@@ -41,6 +41,10 @@ const (
 // Broadcast is the To value for messages with no specific addressee.
 const Broadcast = -1
 
+// KindCount is one past the largest Kind value — the size for arrays
+// indexed directly by Kind (index 0, below KindInvite, stays unused).
+const KindCount = int(KindUpdate) + 1
+
 func (k Kind) String() string {
 	switch k {
 	case KindInvite:

@@ -2,11 +2,23 @@ package net
 
 import (
 	"sort"
-	"sync/atomic"
 
 	"dima/internal/graph"
 	"dima/internal/msg"
 )
+
+// nodeStatus is one node's end-of-round report to the coordinator: its
+// done flag plus the traffic it generated this round. Routing traffic
+// through the coordinator (instead of shared atomics) gives the
+// goroutine engine the same per-round attribution as the sequential
+// one: every node reports exactly once per round, so the coordinator's
+// per-round sums are deterministic even though arrival order is not.
+type nodeStatus struct {
+	done                        bool
+	messages, deliveries, bytes int64
+	// kinds is filled only when the run has a RoundObserver.
+	kinds [msg.KindCount]KindTraffic
+}
 
 // RunChan executes the protocol with one goroutine per vertex and a
 // buffered channel per directed link. Synchrony follows the classic
@@ -60,11 +72,11 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 		}
 	}
 
-	var messages, deliveries, bytes atomic.Int64
+	observing := cfg.Observe != nil
 
-	// Per-round coordination: nodes report done status, the coordinator
-	// answers with continue/stop.
-	status := make(chan bool, n)
+	// Per-round coordination: nodes report done status and round
+	// traffic, the coordinator answers with continue/stop.
+	status := make(chan nodeStatus, n)
 	ctrl := make([]chan bool, n)
 	for u := range ctrl {
 		ctrl[u] = make(chan bool, 1)
@@ -80,10 +92,15 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 					return msg.Less(inbox[i], inbox[j])
 				})
 				out := node.Step(round, inbox)
-				if len(out) > 0 {
-					messages.Add(int64(len(out)))
-					for _, m := range out {
-						bytes.Add(int64(m.Size()))
+				var st nodeStatus
+				st.messages = int64(len(out))
+				for _, m := range out {
+					sz := int64(m.Size())
+					st.bytes += sz
+					if observing {
+						k := &st.kinds[m.Kind]
+						k.Messages++
+						k.Bytes += sz
 					}
 				}
 				// Send this round's batch on every outgoing link. Each
@@ -100,7 +117,12 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 							}
 						}
 					}
-					deliveries.Add(int64(len(batch)))
+					st.deliveries += int64(len(batch))
+					if observing {
+						for _, m := range batch {
+							st.kinds[m.Kind].Deliveries++
+						}
+					}
 					links[u][i] <- batch
 				}
 				// Receive one batch from every neighbor: the barrier.
@@ -110,8 +132,9 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 				for j := range nbrs {
 					inbox = append(inbox, <-fromNbr[u][j]...)
 				}
-				// Coordinator round: report done, await verdict.
-				status <- node.Done()
+				// Coordinator round: report done + traffic, await verdict.
+				st.done = node.Done()
+				status <- st
 				if stop := <-ctrl[u]; stop {
 					return
 				}
@@ -127,10 +150,29 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 	var res Result
 	for round := 0; round < maxRounds; round++ {
 		done := true
+		var rt RoundTraffic
 		for i := 0; i < n; i++ {
-			if !<-status {
+			st := <-status
+			if !st.done {
 				done = false
 			}
+			res.Messages += st.messages
+			res.Deliveries += st.deliveries
+			res.Bytes += st.bytes
+			if observing {
+				for k := range rt.Kinds {
+					rt.Kinds[k].Messages += st.kinds[k].Messages
+					rt.Kinds[k].Deliveries += st.kinds[k].Deliveries
+					rt.Kinds[k].Bytes += st.kinds[k].Bytes
+				}
+				rt.Messages += st.messages
+				rt.Deliveries += st.deliveries
+				rt.Bytes += st.bytes
+			}
+		}
+		if observing {
+			rt.Round = round
+			cfg.Observe(rt)
 		}
 		res.Rounds = round + 1
 		if done {
@@ -144,8 +186,5 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 		}
 		stopAll(false)
 	}
-	res.Messages = messages.Load()
-	res.Deliveries = deliveries.Load()
-	res.Bytes = bytes.Load()
 	return res, nil
 }

@@ -62,7 +62,38 @@ type Config struct {
 	MaxRounds int
 	// Fault optionally drops deliveries. Nil means reliable delivery.
 	Fault FaultInjector
+	// Observe, when non-nil, receives one RoundTraffic per communication
+	// round (see RoundObserver). Nil skips all per-round accounting.
+	Observe RoundObserver
 }
+
+// KindTraffic aggregates one message kind's traffic within a round.
+type KindTraffic struct {
+	// Messages counts local broadcasts sent, Deliveries counts
+	// per-neighbor deliveries after fault filtering, Bytes is the total
+	// encoded size of the broadcasts.
+	Messages, Deliveries, Bytes int64
+}
+
+// RoundTraffic is one communication round's traffic snapshot. Traffic
+// is attributed to the round in which the message was *sent* — both
+// engines agree on this, so for deterministic nodes the per-round
+// streams are identical between RunSync and RunChan.
+type RoundTraffic struct {
+	// Round is the 0-based communication round.
+	Round int
+	// Messages, Deliveries, and Bytes mirror the Result totals for this
+	// round alone.
+	Messages, Deliveries, Bytes int64
+	// Kinds splits the totals by message kind, indexed by msg.Kind
+	// (entry 0 is unused).
+	Kinds [msg.KindCount]KindTraffic
+}
+
+// RoundObserver receives per-round traffic. Both engines invoke it from
+// their coordinating goroutine, sequentially and in round order, after
+// every node has executed the round.
+type RoundObserver func(RoundTraffic)
 
 const defaultMaxRounds = 1_000_000
 
@@ -130,6 +161,7 @@ func RunSync(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 		return res, nil
 	}
 	for round := 0; round < maxRounds; round++ {
+		var rt RoundTraffic
 		for u := 0; u < g.N(); u++ {
 			in := inboxes[u]
 			if len(in) > 1 {
@@ -139,16 +171,34 @@ func RunSync(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 			}
 			out := nodes[u].Step(round, in)
 			for _, m := range out {
+				sz := int64(m.Size())
 				res.Messages++
-				res.Bytes += int64(m.Size())
+				res.Bytes += sz
+				var delivered int64
 				for _, v := range g.Neighbors(u) {
 					if cfg.Fault != nil && cfg.Fault.Drop(round, m, v) {
 						continue
 					}
 					next[v] = append(next[v], m)
-					res.Deliveries++
+					delivered++
+				}
+				res.Deliveries += delivered
+				if cfg.Observe != nil {
+					k := &rt.Kinds[m.Kind]
+					k.Messages++
+					k.Bytes += sz
+					k.Deliveries += delivered
 				}
 			}
+		}
+		if cfg.Observe != nil {
+			rt.Round = round
+			for _, k := range rt.Kinds {
+				rt.Messages += k.Messages
+				rt.Deliveries += k.Deliveries
+				rt.Bytes += k.Bytes
+			}
+			cfg.Observe(rt)
 		}
 		inboxes, next = next, inboxes
 		for u := range next {

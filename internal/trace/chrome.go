@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"dima/internal/automaton"
+)
+
+// chromeEvent is one complete ("X") event of the Chrome trace-event
+// format, the JSON-array flavor that chrome://tracing and Perfetto load
+// directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the recorded transitions as a Chrome trace-event
+// JSON array: one track (tid) per node, one complete event per state
+// residence, named by the automaton state. Timestamps are synthetic
+// microseconds derived from the global observation order (Seq), so the
+// horizontal axis reads as "protocol progress", not wall time. Open the
+// output at https://ui.perfetto.dev or chrome://tracing.
+func (r *Recorder) ChromeTrace(w io.Writer) error {
+	events := r.Events()
+	// Group per node, preserving Seq order (Events is already Seq-sorted,
+	// but sort defensively — per-node order is the correctness contract).
+	perNode := map[int][]Event{}
+	for _, e := range events {
+		perNode[e.Node] = append(perNode[e.Node], e)
+	}
+	nodes := make([]int, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	end := int64(len(events)) + 1
+
+	out := make([]chromeEvent, 0, len(events)+len(nodes))
+	span := func(node int, s automaton.State, from string, ts, until int64) chromeEvent {
+		dur := until - ts
+		if dur < 1 {
+			dur = 1
+		}
+		ev := chromeEvent{
+			Name: s.String(), Cat: "automaton", Ph: "X",
+			Pid: 0, Tid: node, Ts: ts, Dur: dur,
+		}
+		if from != "" {
+			ev.Args = map[string]any{"from": from}
+		}
+		return ev
+	}
+	for _, node := range nodes {
+		evs := perNode[node]
+		// The machine starts in Choose before its first recorded
+		// transition.
+		first := int64(evs[0].Seq) + 1
+		out = append(out, span(node, automaton.Choose, "", 0, first))
+		for i, e := range evs {
+			ts := int64(e.Seq) + 1
+			until := end
+			if i+1 < len(evs) {
+				until = int64(evs[i+1].Seq) + 1
+			}
+			out = append(out, span(node, e.To, e.From.String(), ts, until))
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dima/internal/core"
+	"dima/internal/gen"
+)
+
+func TestDroppedCounter(t *testing.T) {
+	rec := NewRecorder(3)
+	g := gen.Cycle(5)
+	if _, err := core.ColorEdges(g, core.Options{Seed: 3, Hook: rec.Hook()}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("recorded %d events, limit 3", rec.Len())
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("Dropped() == 0 after overflowing a 3-event limit")
+	}
+	err := rec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("Validate did not report truncation: %v", err)
+	}
+	if !strings.Contains(rec.Timeline(), "truncated") {
+		t.Fatalf("Timeline did not report truncation:\n%s", rec.Timeline())
+	}
+}
+
+func TestDroppedZeroOnCompleteTrace(t *testing.T) {
+	rec := NewRecorder(0)
+	g := gen.Cycle(5)
+	if _, err := core.ColorEdges(g, core.Options{Seed: 3, Hook: rec.Hook()}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d on an unlimited recorder", rec.Dropped())
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rec.Timeline(), "truncated") {
+		t.Fatal("Timeline reports truncation on a complete trace")
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	rec := NewRecorder(0)
+	g := gen.Cycle(6)
+	if _, err := core.ColorEdges(g, core.Options{Seed: 7, Hook: rec.Hook()}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rec.ChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	// One span per transition plus the initial Choose span per node.
+	if want := rec.Len() + len(rec.Nodes()); len(events) != want {
+		t.Fatalf("%d spans, want %d", len(events), want)
+	}
+	tracks := map[float64]bool{}
+	for i, e := range events {
+		for _, key := range []string{"name", "ph", "pid", "tid", "ts", "dur"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("span %d missing %q: %v", i, key, e)
+			}
+		}
+		if e["ph"] != "X" {
+			t.Fatalf("span %d has ph %v, want X", i, e["ph"])
+		}
+		if e["dur"].(float64) < 1 {
+			t.Fatalf("span %d has zero duration: %v", i, e)
+		}
+		tracks[e["tid"].(float64)] = true
+	}
+	if len(tracks) != 6 {
+		t.Fatalf("%d tracks, want one per node", len(tracks))
+	}
+}
+
+func TestChromeTraceSpansAreContiguous(t *testing.T) {
+	rec := NewRecorder(0)
+	g := gen.Path(3)
+	if _, err := core.ColorEdges(g, core.Options{Seed: 9, Hook: rec.Hook()}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rec.ChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatal(err)
+	}
+	// Per track, every span must start where the previous one ended, and
+	// the first must start at 0 in state C — the timeline has no holes.
+	next := map[int]int64{}
+	first := map[int]bool{}
+	for _, e := range events {
+		if !first[e.Tid] {
+			first[e.Tid] = true
+			if e.Ts != 0 || e.Name != "C" {
+				t.Fatalf("track %d starts with %+v, want C at ts 0", e.Tid, e)
+			}
+		} else if e.Ts != next[e.Tid] {
+			t.Fatalf("track %d has a gap: span at ts %d, previous ended at %d", e.Tid, e.Ts, next[e.Tid])
+		}
+		next[e.Tid] = e.Ts + e.Dur
+	}
+}

@@ -27,9 +27,10 @@ type Event struct {
 
 // Recorder accumulates transition events.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	limit  int
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped int
 }
 
 // NewRecorder returns a recorder keeping at most limit events
@@ -44,6 +45,7 @@ func (r *Recorder) Hook() automaton.Hook {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		if r.limit > 0 && len(r.events) >= r.limit {
+			r.dropped++
 			return
 		}
 		r.events = append(r.events, Event{Seq: len(r.events), Node: node, From: from, To: to})
@@ -62,6 +64,15 @@ func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.events)
+}
+
+// Dropped returns the number of transitions discarded after the event
+// limit was reached. A nonzero count means every per-node view is a
+// prefix of the true history.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // NodePath returns the sequence of states node visited, starting from
@@ -106,8 +117,13 @@ func (r *Recorder) StateCounts() map[automaton.State]int {
 }
 
 // Validate checks that every node's recorded path is a legal walk of the
-// automaton and (if it terminated) ends in Done.
+// automaton and that the trace is complete: a recorder that hit its
+// event limit holds truncated paths, which Validate reports as an error
+// rather than silently vouching for a partial history.
 func (r *Recorder) Validate() error {
+	if d := r.Dropped(); d > 0 {
+		return fmt.Errorf("trace: incomplete: %d transitions dropped past the %d-event limit", d, r.limit)
+	}
 	for _, node := range r.Nodes() {
 		path := r.NodePath(node)
 		for i := 0; i+1 < len(path); i++ {
@@ -131,6 +147,9 @@ func (r *Recorder) Timeline() string {
 			parts[i] = s.String()
 		}
 		fmt.Fprintf(&b, "node %3d: %s\n", node, strings.Join(parts, " "))
+	}
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(truncated: %d transitions dropped past the %d-event limit)\n", d, r.limit)
 	}
 	return b.String()
 }
