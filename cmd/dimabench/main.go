@@ -73,7 +73,7 @@ func figures() []figure {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, or all")
+		exp     = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, or all")
 		scale   = flag.Float64("scale", 1.0, "fraction of the paper's 50 repetitions per cell")
 		seed    = flag.Uint64("seed", 2012, "master seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -282,8 +282,25 @@ func main() {
 		anyRan = true
 		runTelemetry(*seed, reg, *metricsOut, *traceOut)
 	}
+	if runAll || selected["faults"] {
+		anyRan = true
+		start := time.Now()
+		cfg := experiment.DefaultFaultConfig(*seed, *scale)
+		cfg.Workers = *workers
+		runs, err := experiment.FaultSweep(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== faults — message loss sweep: completeness and round overhead vs drop rate, recovery off/on")
+		fmt.Printf("   er n=%d deg=%g, %d runs in %v\n\n", cfg.N, cfg.Deg, len(runs), time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiment.FaultTable(experiment.FaultCells(runs)).String())
+		fmt.Println("Without recovery any lost negotiation strands the run (half-colored items,")
+		fmt.Println("truncation at the round cap); with recovery both algorithms converge to")
+		fmt.Println("complete valid colorings, paying rounds and retransmissions that grow with P.")
+		fmt.Println()
+	}
 	if !anyRan {
-		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, or all)", *exp))
 	}
 }
 

@@ -51,10 +51,22 @@ type Driver struct {
 	r    *rng.Rand
 	p    Pairing
 	mach *Machine
+	rec  Recovery
 
 	inviteEdge int
 	inviteTo   int
 	invited    bool
+
+	// Recovery state: the last invitation sent, kept while its response
+	// is outstanding. A node whose invitation went unanswered re-enters
+	// I after rec.Timeout() computation rounds and renegotiates the same
+	// edge — retransmitting with an incremented Seq — instead of
+	// flipping a fresh coin, until rec.Budget() retries are spent.
+	sentInvite   msg.Message
+	pending      bool
+	pendingAge   int
+	pendingTries int
+	holdRespond  bool
 }
 
 // DriverPhases is the number of communication rounds per computation
@@ -73,6 +85,16 @@ func NewDriver(id int, r *rng.Rand, p Pairing, hook Hook) *Driver {
 	return d
 }
 
+// WithRecovery enables loss recovery on the driver and returns it for
+// chaining at construction time. Recovery relies on the Pairing's
+// Exchange broadcasts carrying the committed edge id (as
+// internal/matching's match announcements do) and is strengthened — but
+// not required — by the Pairing implementing Reaffirmer.
+func (d *Driver) WithRecovery(rec Recovery) *Driver {
+	d.rec = rec
+	return d
+}
+
 // ID implements net.Node.
 func (d *Driver) ID() int { return d.id }
 
@@ -82,12 +104,25 @@ func (d *Driver) Done() bool { return d.mach.State() == Done }
 // Step implements net.Node.
 func (d *Driver) Step(round int, inbox []msg.Message) []msg.Message {
 	if d.Done() {
+		// A finished node keeps answering invitations from its committed
+		// state when recovery is on: its Response (or its match
+		// announcement) may have been lost, and silence would leave the
+		// inviter retrying into the void.
+		if d.rec.Enabled && round%DriverPhases == 1 {
+			return d.reaffirm(inbox)
+		}
 		return nil
 	}
 	switch round % DriverPhases {
 	case 0:
 		d.p.Absorb(inbox)
 		d.invited = false
+		d.holdRespond = false
+		if d.rec.Enabled && d.pending {
+			if out, handled := d.recoverPending(inbox); handled {
+				return out
+			}
+		}
 		// A node whose work just finished idles through one last cycle
 		// as a listener and stops at the round's end.
 		if !d.p.Live() {
@@ -103,6 +138,7 @@ func (d *Driver) Step(round int, inbox []msg.Message) []msg.Message {
 				d.invited = true
 				d.inviteEdge, d.inviteTo = m.Edge, m.To
 				m.Kind = msg.KindInvite
+				d.sentInvite = m
 				return []msg.Message{m}
 			}
 		}
@@ -115,22 +151,29 @@ func (d *Driver) Step(round int, inbox []msg.Message) []msg.Message {
 			return nil
 		}
 		d.mach.MustTransition(Respond)
+		var out []msg.Message
+		if d.rec.Enabled {
+			out = d.reaffirm(inbox)
+		}
 		mine, overheard := SplitInvites(d.id, inbox)
-		if !d.p.Live() || len(mine) == 0 {
-			return nil
+		if d.holdRespond || !d.p.Live() || len(mine) == 0 {
+			return out
 		}
 		if m, ok := d.p.Respond(mine, overheard, d.r); ok {
 			m.Kind = msg.KindResponse
 			m.From = d.id
-			return []msg.Message{m}
+			out = append(out, m)
 		}
-		return nil
+		return out
 
 	default:
 		switch d.mach.State() {
 		case Wait:
 			if m, ok, _ := FindResponse(d.id, d.inviteEdge, inbox); ok && m.From == d.inviteTo {
 				d.p.Complete(m)
+				d.clearPending()
+			} else if d.rec.Enabled {
+				d.settleWait(inbox)
 			}
 			d.mach.MustTransition(Update)
 		case Respond:
@@ -140,11 +183,118 @@ func (d *Driver) Step(round int, inbox []msg.Message) []msg.Message {
 		}
 		d.mach.MustTransition(Exchange)
 		out := d.p.Exchange()
-		if d.p.Live() {
+		if d.p.Live() || (d.rec.Enabled && d.pending) {
 			d.mach.MustTransition(Choose)
 		} else {
 			d.mach.MustTransition(Done)
 		}
 		return out
 	}
+}
+
+// reaffirm routes invitations addressed here through the pairing's
+// Reaffirmer, answering from committed state on behalf of nodes the
+// normal Respond path no longer serves.
+func (d *Driver) reaffirm(inbox []msg.Message) []msg.Message {
+	ref, ok := d.p.(Reaffirmer)
+	if !ok {
+		return nil
+	}
+	mine, _ := SplitInvites(d.id, inbox)
+	var out []msg.Message
+	for _, inv := range mine {
+		if m, ok := ref.Reaffirm(inv); ok {
+			m.From = d.id
+			m.Seq = inv.Seq
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// settleWait handles the no-response case of the Wait state under
+// recovery. An Update from the invited neighbor resolves the negotiation
+// either way — it committed our edge (complete the pair) or a different
+// one (stop waiting); such re-announcements arrive in this phase when a
+// Reaffirmer sent them, so they are also forwarded to Absorb, which
+// otherwise only sees start-of-cycle inboxes. With no word from the
+// neighbor at all, the invitation becomes (or stays) pending for the
+// retransmit loop in recoverPending.
+func (d *Driver) settleWait(inbox []msg.Message) {
+	settled := false
+	for _, m := range inbox {
+		if m.Kind != msg.KindUpdate {
+			continue
+		}
+		d.p.Absorb([]msg.Message{m})
+		if m.From == d.inviteTo {
+			if m.Edge == d.inviteEdge {
+				d.p.Complete(msg.Message{
+					Kind: msg.KindResponse, From: m.From, To: d.id,
+					Edge: d.inviteEdge, Color: d.sentInvite.Color,
+				})
+			}
+			settled = true
+		}
+	}
+	if settled {
+		d.clearPending()
+		return
+	}
+	if !d.pending {
+		d.pending = true
+		d.pendingAge = 0
+		d.pendingTries = 0
+	}
+}
+
+// recoverPending runs at the start of a cycle while an invitation is
+// outstanding. It returns handled == true when it consumed the round (a
+// retransmission was sent, or the node is holding in L until the
+// timeout); handled == false hands the round back to the normal
+// protocol after the pending state was resolved or abandoned.
+func (d *Driver) recoverPending(inbox []msg.Message) ([]msg.Message, bool) {
+	// The neighbor's own exchange broadcast settles the question without
+	// any retransmission: its Edge names the edge it committed.
+	for _, m := range inbox {
+		if m.Kind == msg.KindUpdate && m.From == d.sentInvite.To {
+			if m.Edge == d.sentInvite.Edge {
+				d.p.Complete(msg.Message{
+					Kind: msg.KindResponse, From: m.From, To: d.id,
+					Edge: m.Edge, Color: d.sentInvite.Color,
+				})
+			}
+			d.clearPending()
+			return nil, false
+		}
+	}
+	d.pendingAge++
+	if d.pendingAge < d.rec.Timeout() {
+		// Still inside the timeout window: hold in L, responding to no
+		// one — the node is logically still waiting on its invitation.
+		d.mach.MustTransition(Listen)
+		d.holdRespond = true
+		return nil, true
+	}
+	if d.pendingTries >= d.rec.Budget() {
+		// Budget spent: abandon the exchange. The normal protocol may
+		// still reach the neighbor through a fresh coin-flip invitation,
+		// which a Reaffirmer answers from committed state.
+		d.clearPending()
+		return nil, false
+	}
+	d.pendingTries++
+	d.pendingAge = 0
+	m := d.sentInvite
+	m.Seq = uint32(d.pendingTries)
+	d.mach.MustTransition(Invite)
+	d.invited = true
+	d.inviteEdge, d.inviteTo = m.Edge, m.To
+	return []msg.Message{m}, true
+}
+
+func (d *Driver) clearPending() {
+	d.pending = false
+	d.pendingAge = 0
+	d.pendingTries = 0
 }

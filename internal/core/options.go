@@ -64,6 +64,14 @@ type Options struct {
 	// The paper's model assumes reliable delivery; with faults enabled
 	// runs may fail to terminate and are truncated at MaxCompRounds.
 	Fault net.FaultInjector
+	// Recovery enables the loss-recovery extension (docs/ROBUSTNESS.md):
+	// half-colored repairs via acknowledgement tracking, bounded
+	// retransmission, authoritative re-responses, and negotiated reverts,
+	// so runs converge to complete valid colorings under transient loss.
+	// Disabled (the zero value), behavior — message streams, RNG
+	// consumption, results — is byte-identical to the reliable-delivery
+	// implementation.
+	Recovery automaton.Recovery
 	// CollectParticipation enables per-computation-round participation
 	// counters (Result.Participation), used to measure the pairing
 	// probability of the paper's Proposition 1 / Equation (1).
@@ -129,8 +137,16 @@ type Result struct {
 	// HalfColored counts edges (or arcs) that exactly one endpoint
 	// believes colored — possible only when message deliveries are
 	// dropped, and the mechanism behind the conflicts the paper's
-	// reliable-delivery assumption rules out. Always 0 without faults.
+	// reliable-delivery assumption rules out. Always 0 without faults,
+	// and 0 again with faults when Recovery converged.
 	HalfColored int
+	// Recovery-layer activity (all 0 unless Options.Recovery is enabled):
+	// Retransmits counts messages re-sent after an acknowledgement
+	// timeout, Repairs counts assignments completed through a recovery
+	// path (adopted from a partner's authoritative state), Reverts counts
+	// one-sided assignments undone by a negative acknowledgement, and
+	// Probes counts status queries sent for stalled arcs.
+	Retransmits, Repairs, Reverts, Probes int
 	// Participation holds per-computation-round activity counters when
 	// Options.CollectParticipation is set (nil otherwise).
 	Participation []Participation

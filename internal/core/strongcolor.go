@@ -68,6 +68,10 @@ func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
 	for _, n := range scs {
 		res.DefensiveRejects += n.defensiveRejects
 		res.ConflictsDropped += n.conflictsDropped
+		res.Retransmits += n.recC.retransmits
+		res.Repairs += n.recC.repairs
+		res.Reverts += n.recC.reverts
+		res.Probes += n.recC.probes
 		for a, c := range n.colors {
 			endpoints[a]++
 			if res.Colors[a] == -1 {
@@ -157,6 +161,14 @@ type scNode struct {
 
 	claim *scClaim // tentative pairing this round, nil if none
 
+	// Recovery state (Options.Recovery; see recovery.go). reaffirmQ holds
+	// keep-Decides re-announcing committed colors (after an adoption, or
+	// to flush out the losing side of a late-detected conflict), drained
+	// at the decide phase so they arrive with the regular knowledge
+	// traffic.
+	reaffirmQ []msg.Message
+	recC      recCounters
+
 	defensiveRejects int
 	conflictsDropped int
 
@@ -207,12 +219,17 @@ func (n *scNode) ID() int { return n.id }
 
 func (n *scNode) Done() bool { return n.mach.State() == automaton.Done }
 
+func (n *scNode) recOn() bool { return n.opt.Recovery.Enabled }
+
 func (n *scNode) Step(round int, inbox []msg.Message) []msg.Message {
-	if n.Done() {
-		return nil
-	}
 	if n.obs {
 		n.curRound = round / scPhases
+	}
+	if n.Done() {
+		if !n.recOn() {
+			return nil
+		}
+		return n.stepDone(round/scPhases, round%scPhases, inbox)
 	}
 	switch round % scPhases {
 	case 0:
@@ -226,6 +243,56 @@ func (n *scNode) Step(round int, inbox []msg.Message) []msg.Message {
 	}
 }
 
+// stepDone services recovery traffic after the node finished. A finished
+// node stays the authority for its committed arcs: it answers probes and
+// re-invitations for them, keeps scanning neighbor announcements for
+// late-detected conflicts, and — when a negative acknowledgement or a
+// lost conflict reverts one of its arcs — resurrects as a listener so
+// the arc renegotiates.
+func (n *scNode) stepDone(compRound, phase int, inbox []msg.Message) []msg.Message {
+	switch phase {
+	case 0:
+		// Neighbor keep-decides and re-announcements: fold into knowledge
+		// and check them against this node's committed arcs.
+		before := n.remaining
+		out := n.scanAnnouncements(compRound, inbox, nil)
+		if n.remaining > before {
+			n.mach = automaton.NewMachine(n.id, n.opt.Hook)
+			n.mach.MustTransition(automaton.Listen)
+		}
+		return out
+	case 1:
+		before := n.remaining
+		out := n.processAcks(inbox)
+		out = n.answerCommittedInvites(inbox, out)
+		if n.remaining > before {
+			n.mach = automaton.NewMachine(n.id, n.opt.Hook)
+			n.mach.MustTransition(automaton.Listen)
+			n.mach.MustTransition(automaton.Respond)
+		}
+		return out
+	case 3:
+		before := n.remaining
+		out := n.processAcks(inbox)
+		out = append(out, n.reaffirmQ...)
+		n.reaffirmQ = nil
+		if compRound > 0 && compRound%n.opt.Recovery.Timeout() == 0 {
+			if m, ok := n.reannounceMsg(); ok {
+				out = append(out, m)
+			}
+		}
+		if n.remaining > before {
+			n.mach = automaton.NewMachine(n.id, n.opt.Hook)
+			for _, s := range []automaton.State{automaton.Listen, automaton.Respond,
+				automaton.Update, automaton.Exchange, automaton.Choose} {
+				n.mach.MustTransition(s)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
 // forbidden returns the color sets whose union covers every color used
 // on arcs within u's closed neighborhood — u's half of the distance-1
 // conflict set of any arc incident to u.
@@ -237,9 +304,29 @@ func (n *scNode) forbidden() []*ColorSet {
 }
 
 // phaseChooseInvite finalizes the previous round's claims from the
-// decide broadcasts, then runs the coin toss and invitation.
+// decide broadcasts, then runs the coin toss and invitation. Under
+// recovery the decide processing can emit negative acknowledgements
+// (lost partner decisions, late-detected conflicts), and a node whose
+// remaining work is a half-colored incoming arc periodically probes the
+// arc's owner for its committed state.
 func (n *scNode) phaseChooseInvite(compRound int, inbox []msg.Message) []msg.Message {
-	n.applyDecides(inbox)
+	out := n.applyDecides(compRound, inbox)
+	if n.recOn() && n.remaining > 0 && len(n.uncoloredOut) == 0 &&
+		compRound > 0 && compRound%n.opt.Recovery.Timeout() == 0 {
+		// Every uncolored incoming arc is awaited from its owner. If the
+		// owner committed it one-sidedly (a lost decide), no invitation
+		// will ever arrive — ask for its status.
+		for _, a := range n.d.InArcs(n.id) {
+			if _, ok := n.colors[a]; ok {
+				continue
+			}
+			out = append(out, ackMsg(n.id, n.d.ArcAt(a).From, int(a), -1, false))
+			n.recC.probes++
+			if n.obs {
+				n.tel.at(compRound).probes++
+			}
+		}
+	}
 	// The machine is in C at every phase-0 entry (the constructor starts
 	// there; phaseDecide loops back). A node whose last arc was just
 	// finalized idles through one final cycle as a listener and
@@ -247,7 +334,7 @@ func (n *scNode) phaseChooseInvite(compRound int, inbox []msg.Message) []msg.Mes
 	// rule that finished nodes transfer to Done.
 	if n.remaining == 0 {
 		n.mach.MustTransition(automaton.Listen)
-		return nil
+		return out
 	}
 	if n.opt.CollectParticipation {
 		n.paired = append(n.paired, false)
@@ -270,15 +357,15 @@ func (n *scNode) phaseChooseInvite(compRound int, inbox []msg.Message) []msg.Mes
 		c := n.proposeColor(a, v)
 		n.attempts[a]++
 		n.inviteArc, n.inviteTo, n.inviteColor = a, v, c
-		return []msg.Message{{
+		return append(out, msg.Message{
 			Kind: msg.KindInvite, From: n.id, To: v, Edge: int(a), Color: c,
-		}}
+		})
 	}
 	n.mach.MustTransition(automaton.Listen)
 	if ev != nil {
 		ev.listened++
 	}
-	return nil
+	return out
 }
 
 // proposeColor picks the channel to propose for arc a, targeted at
@@ -308,16 +395,28 @@ func (n *scNode) proposeColor(a graph.ArcID, v int) int {
 // applyDecides processes the keep/drop broadcasts of the previous
 // round's confirm exchange: finalizes the node's own claim if both
 // endpoints kept it, and folds neighbors' kept claims into the one-hop
-// color knowledge.
-func (n *scNode) applyDecides(inbox []msg.Message) {
-	var partnerKeep, partnerSeen bool
+// color knowledge. Under recovery it additionally emits negative
+// acknowledgements — when the partner's decision was lost (it may have
+// finalized one-sidedly), when a rival kept decision whose claim
+// broadcast this node never heard outranks the claim, and when a
+// neighbor announcement reveals a conflict with an already-committed arc
+// (conflictCheck).
+func (n *scNode) applyDecides(compRound int, inbox []msg.Message) []msg.Message {
+	var out []msg.Message
+	var partnerKeep, partnerSeen, rivalWins bool
 	for _, m := range inbox {
+		i, nbr := n.nbrIndex[m.From]
 		if m.Kind == msg.KindUpdate {
 			// A neighbor's dead-list delta: channels no longer usable
-			// for it (relayed one-hop knowledge).
-			if i, ok := n.nbrIndex[m.From]; ok {
+			// for it (relayed one-hop knowledge). Under recovery, paints
+			// naming an arc re-announce a committed color.
+			if nbr {
 				for _, p := range m.Paints {
 					n.deadNbr[i].Add(p.Color)
+					if n.recOn() && p.Edge >= 0 {
+						n.addColorAt(i, p.Color)
+						out = n.conflictCheck(graph.ArcID(p.Edge), p.Color, out)
+					}
 				}
 			}
 			continue
@@ -333,25 +432,56 @@ func (n *scNode) applyDecides(inbox []msg.Message) {
 		// over-approximates, which can only make future proposals more
 		// conservative — never incorrect (see DESIGN.md).
 		if m.Keep {
-			if i, ok := n.nbrIndex[m.From]; ok {
+			if nbr {
 				n.addColorAt(i, m.Color)
+				if n.recOn() {
+					out = n.conflictCheck(graph.ArcID(m.Edge), m.Color, out)
+				}
+			}
+			if n.recOn() && n.claim != nil && n.claim.keep &&
+				m.Color == n.claim.color && graph.ArcID(m.Edge) != n.claim.arc &&
+				m.Edge >= 0 && m.Edge < n.d.A() &&
+				n.d.ArcsConflict(n.claim.arc, graph.ArcID(m.Edge)) {
+				// A kept conflicting decision whose claim broadcast this
+				// node never heard. Yield if it outranks the claim:
+				// re-announced commitments (Seq > 0) always do, fresh
+				// same-round claims by the usual claim priority.
+				if m.Seq > 0 {
+					rivalWins = true
+				} else {
+					p := claimPriority(compRound-1, graph.ArcID(m.Edge))
+					my := claimPriority(compRound-1, n.claim.arc)
+					if p < my || (p == my && m.Edge < int(n.claim.arc)) {
+						rivalWins = true
+					}
+				}
 			}
 		}
 	}
 	if n.claim == nil {
-		return
+		return out
 	}
 	cl := n.claim
 	n.claim = nil
 	if !cl.keep {
 		n.drop(cl)
-		return
+		return out
 	}
 	if !partnerSeen || !partnerKeep {
 		// Partner withdrew (or, under injected faults, its decision was
 		// lost): the arc stays uncolored and is retried.
 		n.drop(cl)
-		return
+		if n.recOn() && !partnerSeen {
+			// The partner may have heard this node's keep and finalized
+			// one-sidedly; demand a revert (a no-op if it also dropped).
+			out = append(out, ackMsg(n.id, cl.partner, int(cl.arc), cl.color, false))
+		}
+		return out
+	}
+	if rivalWins {
+		n.drop(cl)
+		out = append(out, ackMsg(n.id, cl.partner, int(cl.arc), cl.color, false))
+		return out
 	}
 	if cl.roundIdx >= 0 && cl.roundIdx < len(n.paired) {
 		n.paired[cl.roundIdx] = true
@@ -361,6 +491,7 @@ func (n *scNode) applyDecides(inbox []msg.Message) {
 		n.tel.assigns = append(n.tel.assigns, assignEvent{round: cl.compRound, item: int(cl.arc), color: cl.color})
 	}
 	n.finalize(cl.arc, cl.color)
+	return out
 }
 
 // drop withdraws a claim, attributing the conflict to the round the
@@ -421,11 +552,20 @@ func (n *scNode) finalize(a graph.ArcID, c int) {
 }
 
 // phaseRespond: listeners evaluate invitations (Procedure 2-b) and
-// respond to at most one; inviters move to W.
+// respond to at most one; inviters move to W. Under recovery the phase
+// opens by settling acknowledgements (reverts, probe answers) and by
+// answering invitations for already-committed arcs authoritatively —
+// inviters included, since a Waiting node is still the authority for its
+// other arcs.
 func (n *scNode) phaseRespond(inbox []msg.Message) []msg.Message {
+	var out []msg.Message
+	if n.recOn() {
+		out = n.processAcks(inbox)
+		out = n.answerCommittedInvites(inbox, out)
+	}
 	if n.mach.State() == automaton.Invite {
 		n.mach.MustTransition(automaton.Wait)
-		return nil
+		return out
 	}
 	n.mach.MustTransition(automaton.Respond)
 	mine, others := automaton.SplitInvites(n.id, inbox)
@@ -439,6 +579,9 @@ func (n *scNode) phaseRespond(inbox []msg.Message) []msg.Message {
 	for _, m := range mine {
 		a := graph.ArcID(m.Edge)
 		if _, already := n.colors[a]; already || n.d.ArcAt(a).To != n.id {
+			if n.recOn() && already {
+				continue // answered authoritatively above
+			}
 			n.reject()
 			continue
 		}
@@ -465,14 +608,14 @@ func (n *scNode) phaseRespond(inbox []msg.Message) []msg.Message {
 		}
 	}
 	if len(valid) == 0 {
-		return nil
+		return out
 	}
 	m := valid[n.r.Intn(len(valid))]
 	n.claim = &scClaim{arc: graph.ArcID(m.Edge), color: m.Color, partner: m.From, keep: true,
 		roundIdx: n.partIdx(), compRound: n.curRound}
-	return []msg.Message{{
+	return append(out, msg.Message{
 		Kind: msg.KindResponse, From: n.id, To: m.From, Edge: m.Edge, Color: m.Color,
-	}}
+	})
 }
 
 // phaseClaim: inviters look for an acceptance; both members of each
@@ -483,12 +626,14 @@ func (n *scNode) phaseClaim(inbox []msg.Message) []msg.Message {
 	switch n.mach.State() {
 	case automaton.Wait:
 		if m, ok, _ := automaton.FindResponse(n.id, int(n.inviteArc), inbox); ok {
-			if m.From == n.inviteTo && m.Color == n.inviteColor {
+			if m.From == n.inviteTo && m.Color == n.inviteColor && (!n.recOn() || m.Seq == 0) {
 				n.claim = &scClaim{arc: n.inviteArc, color: n.inviteColor, partner: n.inviteTo, keep: true,
 					roundIdx: n.partIdx(), compRound: n.curRound}
-			} else {
+			} else if !n.recOn() {
 				n.reject()
 			}
+			// Under recovery a Seq > 0 response is an authoritative
+			// re-response, handled by the adoption scan below.
 		}
 		n.mach.MustTransition(automaton.Update)
 	case automaton.Respond:
@@ -497,8 +642,12 @@ func (n *scNode) phaseClaim(inbox []msg.Message) []msg.Message {
 		panic(fmt.Sprintf("core: node %d in state %v at claim phase", n.id, n.mach.State()))
 	}
 	n.mach.MustTransition(automaton.Exchange)
+	var out []msg.Message
+	if n.recOn() {
+		out = n.adoptResponses(inbox)
+	}
 	if n.claim == nil {
-		return nil
+		return out
 	}
 	if n.opt.UnsafeNoConfirm {
 		cl := n.claim
@@ -511,15 +660,15 @@ func (n *scNode) phaseClaim(inbox []msg.Message) []msg.Message {
 			n.tel.assigns = append(n.tel.assigns, assignEvent{round: cl.compRound, item: int(cl.arc), color: cl.color})
 		}
 		n.finalize(cl.arc, cl.color)
-		return []msg.Message{{
+		return append(out, msg.Message{
 			Kind: msg.KindUpdate, From: n.id, To: msg.Broadcast, Edge: -1, Color: -1,
 			Paints: []msg.Paint{{Edge: int(cl.arc), Color: cl.color}},
-		}}
+		})
 	}
-	return []msg.Message{{
+	return append(out, msg.Message{
 		Kind: msg.KindClaim, From: n.id, To: msg.Broadcast,
 		Edge: int(n.claim.arc), Color: n.claim.color,
-	}}
+	})
 }
 
 // phaseDecide: second exchange sub-round. Each claimant withdraws if it
@@ -534,6 +683,21 @@ func (n *scNode) phaseDecide(compRound int, inbox []msg.Message) []msg.Message {
 			n.mach.MustTransition(automaton.Choose)
 		}
 	}()
+	var out []msg.Message
+	if n.recOn() {
+		// Negative acknowledgements from the claim phase's adoption scan
+		// arrive here; re-announcements queued by adoptions and won
+		// conflicts go out with the knowledge traffic, plus the periodic
+		// full re-announcement that heals lost-broadcast knowledge gaps.
+		out = n.processAcks(inbox)
+		out = append(out, n.reaffirmQ...)
+		n.reaffirmQ = nil
+		if compRound > 0 && compRound%n.opt.Recovery.Timeout() == 0 {
+			if m, ok := n.reannounceMsg(); ok {
+				out = append(out, m)
+			}
+		}
+	}
 	if n.opt.UnsafeNoConfirm {
 		// Ablation arm: fold finalized updates into one-hop knowledge.
 		for _, m := range inbox {
@@ -546,10 +710,10 @@ func (n *scNode) phaseDecide(compRound int, inbox []msg.Message) []msg.Message {
 				}
 			}
 		}
-		return n.deadListDelta()
+		return append(out, n.deadListDelta()...)
 	}
 	if n.claim == nil {
-		return n.deadListDelta()
+		return append(out, n.deadListDelta()...)
 	}
 	myPrio := claimPriority(compRound, n.claim.arc)
 	for _, m := range inbox {
@@ -562,7 +726,7 @@ func (n *scNode) phaseDecide(compRound int, inbox []msg.Message) []msg.Message {
 			break
 		}
 	}
-	return append(n.deadListDelta(), msg.Message{
+	return append(append(out, n.deadListDelta()...), msg.Message{
 		Kind: msg.KindDecide, From: n.id, To: msg.Broadcast,
 		Edge: int(n.claim.arc), Color: n.claim.color, Keep: n.claim.keep,
 	})
@@ -591,4 +755,265 @@ func (n *scNode) deadListDelta() []msg.Message {
 // so no arc is starved systematically.
 func claimPriority(compRound int, a graph.ArcID) uint64 {
 	return rng.Mix64(uint64(compRound)<<32 ^ uint64(a))
+}
+
+// scanAnnouncements is the finished node's share of applyDecides: fold
+// neighbor announcements into one-hop knowledge and check each against
+// this node's committed arcs.
+func (n *scNode) scanAnnouncements(compRound int, inbox []msg.Message, out []msg.Message) []msg.Message {
+	for _, m := range inbox {
+		i, nbr := n.nbrIndex[m.From]
+		if !nbr {
+			continue
+		}
+		switch m.Kind {
+		case msg.KindUpdate:
+			for _, p := range m.Paints {
+				n.deadNbr[i].Add(p.Color)
+				if p.Edge >= 0 {
+					n.addColorAt(i, p.Color)
+					out = n.conflictCheck(graph.ArcID(p.Edge), p.Color, out)
+				}
+			}
+		case msg.KindDecide:
+			if m.Keep {
+				n.addColorAt(i, m.Color)
+				out = n.conflictCheck(graph.ArcID(m.Edge), m.Color, out)
+			}
+		}
+	}
+	return out
+}
+
+// conflictCheck tests a neighbor's announced (arc, color) pair against
+// this node's committed arcs. A distance-1 collision means a claim or
+// decide broadcast was lost before one of the commitments; the statically
+// lower-priority arc yields. If this node's arc loses it reverts and
+// tells its partner to do the same; if it wins it re-announces the arc so
+// the losing side eventually detects the collision and yields.
+func (n *scNode) conflictCheck(b graph.ArcID, c int, out []msg.Message) []msg.Message {
+	if b < 0 || int(b) >= n.d.A() {
+		return out
+	}
+	for _, a := range n.incidentArcs() {
+		if a == b {
+			continue
+		}
+		if cc, ok := n.colors[a]; !ok || cc != c {
+			continue
+		}
+		if !n.d.ArcsConflict(a, b) {
+			continue
+		}
+		if staleWins(a, b) {
+			n.reaffirm(a, c)
+			continue
+		}
+		arc := n.d.ArcAt(a)
+		partner := arc.To
+		if partner == n.id {
+			partner = arc.From
+		}
+		n.revertArc(a, c)
+		out = append(out, ackMsg(n.id, partner, int(a), c, false))
+	}
+	return out
+}
+
+// staleWins orders two committed arcs in a late-detected conflict. The
+// priority is a pure function of the arc ids, so all four endpoints —
+// whenever and in whatever order they detect the collision — agree on
+// the survivor without coordination.
+func staleWins(a, b graph.ArcID) bool {
+	pa, pb := rng.Mix64(uint64(a)), rng.Mix64(uint64(b))
+	return pa < pb || (pa == pb && a < b)
+}
+
+// processAcks applies incoming KindAck traffic: a negative ack with a
+// color reverts the named one-sided commitment; a probe (color -1) is
+// answered from committed state with an authoritative Seq-1 Response.
+func (n *scNode) processAcks(inbox []msg.Message) []msg.Message {
+	var out []msg.Message
+	for _, m := range inbox {
+		if m.Kind != msg.KindAck || m.To != n.id || m.Keep {
+			continue
+		}
+		a := graph.ArcID(m.Edge)
+		if !n.arcWith(a, m.From) {
+			continue
+		}
+		if m.Color >= 0 {
+			n.revertArc(a, m.Color)
+			continue
+		}
+		if c, ok := n.colors[a]; ok {
+			out = append(out, msg.Message{
+				Kind: msg.KindResponse, From: n.id, To: m.From,
+				Edge: m.Edge, Color: c, Seq: 1,
+			})
+			n.retransmit()
+		}
+	}
+	return out
+}
+
+// answerCommittedInvites re-responds to invitations for arcs this node
+// already committed, with the committed color and a nonzero Seq so the
+// inviter routes the reply through its adoption scan.
+func (n *scNode) answerCommittedInvites(inbox []msg.Message, out []msg.Message) []msg.Message {
+	mine, _ := automaton.SplitInvites(n.id, inbox)
+	for _, m := range mine {
+		a := graph.ArcID(m.Edge)
+		if !n.arcWith(a, m.From) {
+			continue
+		}
+		c, ok := n.colors[a]
+		if !ok {
+			continue
+		}
+		out = append(out, msg.Message{
+			Kind: msg.KindResponse, From: n.id, To: m.From,
+			Edge: m.Edge, Color: c, Seq: m.Seq + 1,
+		})
+		n.retransmit()
+	}
+	return out
+}
+
+// adoptResponses settles authoritative (Seq > 0) re-responses addressed
+// to this node: the sender committed the arc, so adopt its color if the
+// arc is uncolored here and the color passes this node's forbidden sets,
+// otherwise demand a revert. Fresh tentative responses (Seq == 0) belong
+// to the claim path and are never adopted directly.
+func (n *scNode) adoptResponses(inbox []msg.Message) []msg.Message {
+	var out []msg.Message
+	for _, m := range inbox {
+		if m.Kind != msg.KindResponse || m.To != n.id || m.Seq == 0 || m.Color < 0 {
+			continue
+		}
+		a := graph.ArcID(m.Edge)
+		if !n.arcWith(a, m.From) {
+			continue
+		}
+		if c, ok := n.colors[a]; ok {
+			if c != m.Color {
+				out = append(out, ackMsg(n.id, m.From, m.Edge, m.Color, false))
+			}
+			continue
+		}
+		bad := n.claim != nil && n.claim.color == m.Color
+		if !bad {
+			for _, s := range n.forbidden() {
+				if s.Has(m.Color) {
+					bad = true
+					break
+				}
+			}
+		}
+		if bad {
+			out = append(out, ackMsg(n.id, m.From, m.Edge, m.Color, false))
+			continue
+		}
+		n.adopt(a, m.Color)
+	}
+	return out
+}
+
+// adopt finalizes an arc from the partner's authoritative state and
+// queues a re-announcement so the neighborhood learns the color.
+func (n *scNode) adopt(a graph.ArcID, c int) {
+	n.finalize(a, c)
+	n.recC.repairs++
+	if n.obs {
+		n.tel.at(n.curRound).repairs++
+		n.tel.assigns = append(n.tel.assigns, assignEvent{round: n.curRound, item: int(a), color: c})
+	}
+	n.reaffirm(a, c)
+}
+
+// reannounceMsg builds the periodic full re-announcement of this node's
+// committed colors: one Update whose paints name (arc, color) pairs.
+// Receivers fold each pair into one-hop knowledge and run conflictCheck,
+// so any conflict whose forming broadcasts were lost is re-detected every
+// period until the losing side reverts. Both live and finished nodes
+// re-announce — a latent conflict can sit entirely between finished
+// nodes.
+func (n *scNode) reannounceMsg() (msg.Message, bool) {
+	var paints []msg.Paint
+	for _, a := range n.incidentArcs() {
+		if c, ok := n.colors[a]; ok {
+			paints = append(paints, msg.Paint{Edge: int(a), Color: c})
+		}
+	}
+	if len(paints) == 0 {
+		return msg.Message{}, false
+	}
+	return msg.Message{
+		Kind: msg.KindUpdate, From: n.id, To: msg.Broadcast,
+		Edge: -1, Color: -1, Seq: 1, Paints: paints,
+	}, true
+}
+
+// reaffirm queues a keep-Decide re-announcing a committed arc color,
+// deduplicating per arc; the queue drains at the decide phase.
+func (n *scNode) reaffirm(a graph.ArcID, c int) {
+	for _, m := range n.reaffirmQ {
+		if m.Edge == int(a) {
+			return
+		}
+	}
+	n.reaffirmQ = append(n.reaffirmQ, msg.Message{
+		Kind: msg.KindDecide, From: n.id, To: msg.Broadcast,
+		Edge: int(a), Color: c, Keep: true, Seq: 1,
+	})
+}
+
+// revertArc undoes this node's commitment of color c to arc a. Stale
+// requests (the arc moved on, or was never committed here) are ignored.
+// Neighbor knowledge (announced dead lists, colorsAt) is left as is:
+// over-approximating a dead color is always safe.
+func (n *scNode) revertArc(a graph.ArcID, c int) {
+	cur, ok := n.colors[a]
+	if !ok || cur != c {
+		return
+	}
+	delete(n.colors, a)
+	n.remaining++
+	if n.d.ArcAt(a).From == n.id {
+		n.uncoloredOut = append(n.uncoloredOut, a)
+	}
+	n.colorsSelf = ColorSet{}
+	for _, cc := range n.colors {
+		n.colorsSelf.Add(cc)
+	}
+	n.recC.reverts++
+	if n.obs {
+		n.tel.at(n.curRound).reverts++
+	}
+}
+
+// retransmit counts an authoritative re-response plus its telemetry
+// mirror.
+func (n *scNode) retransmit() {
+	n.recC.retransmits++
+	if n.obs {
+		n.tel.at(n.curRound).retransmits++
+	}
+}
+
+// incidentArcs returns this node's incident arcs (out then in) in a
+// deterministic order for recovery scans.
+func (n *scNode) incidentArcs() []graph.ArcID {
+	out := append([]graph.ArcID{}, n.d.OutArcs(n.id)...)
+	return append(out, n.d.InArcs(n.id)...)
+}
+
+// arcWith reports whether a is an arc between this node and from — the
+// validity gate for recovery messages before they touch state.
+func (n *scNode) arcWith(a graph.ArcID, from int) bool {
+	if a < 0 || int(a) >= n.d.A() {
+		return false
+	}
+	arc := n.d.ArcAt(a)
+	return (arc.From == n.id && arc.To == from) || (arc.From == from && arc.To == n.id)
 }

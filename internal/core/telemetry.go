@@ -14,6 +14,9 @@ import (
 type nodeRoundEvents struct {
 	active, invited, listened int
 	paired, rejects, dropped  int
+	// Recovery-layer activity (Options.Recovery; see recovery.go),
+	// attributed to the round it was detected in.
+	retransmits, repairs, reverts, probes int
 }
 
 // assignEvent is one item (edge or arc) receiving a color, attributed
@@ -98,6 +101,10 @@ func emitRoundStats(sink metrics.Sink, traffic []net.RoundTraffic, tels []*nodeT
 			s.Paired += ev.paired
 			s.DefensiveRejects += ev.rejects
 			s.ConflictsDropped += ev.dropped
+			s.Retransmits += ev.retransmits
+			s.Repairs += ev.repairs
+			s.Reverts += ev.reverts
+			s.Probes += ev.probes
 		}
 		for _, a := range tel.assigns {
 			r := clamp(a.round)

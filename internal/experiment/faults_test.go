@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallFaultConfig(seed uint64) FaultConfig {
+	return FaultConfig{
+		Seed:          seed,
+		N:             40,
+		Deg:           6,
+		Drops:         []float64{0, 0.1},
+		Reps:          2,
+		MaxCompRounds: 3000,
+	}
+}
+
+func TestFaultSweepRecoveryCompletes(t *testing.T) {
+	runs, err := FaultSweep(smallFaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 drops × 2 algorithms × 2 recovery arms × 2 reps.
+	if len(runs) != 16 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	for _, r := range runs {
+		switch {
+		case r.Recovery || r.DropP == 0:
+			if !r.Complete {
+				t.Errorf("%s P=%g recovery=%v rep %d: not complete (terminated=%v half=%d violations=%d)",
+					r.Algorithm, r.DropP, r.Recovery, r.Rep,
+					r.Terminated, r.HalfColored, r.Violations)
+			}
+		default:
+			// No recovery under loss: the run must be visibly damaged, not
+			// silently pass — that is the defect the sweep exists to show.
+			if r.Complete {
+				t.Errorf("%s P=%g without recovery completed; faults had no effect", r.Algorithm, r.DropP)
+			}
+		}
+		if !r.Recovery && r.Retransmits+r.Repairs+r.Reverts+r.Probes != 0 {
+			t.Errorf("%s P=%g recovery off reported recovery activity: %+v", r.Algorithm, r.DropP, r)
+		}
+	}
+}
+
+func TestFaultSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := smallFaultConfig(23)
+	cfg.Workers = 1
+	a, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d differs across worker counts:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultCellsAndTable(t *testing.T) {
+	runs, err := FaultSweep(smallFaultConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := FaultCells(runs)
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	for _, c := range cells {
+		if c.Reps != 2 {
+			t.Fatalf("cell %+v: wrong rep count", c)
+		}
+		if c.RoundOverhead <= 0 {
+			t.Fatalf("cell %+v: missing P=0 overhead anchor", c)
+		}
+		if c.DropP == 0 && c.RoundOverhead != 1 {
+			t.Fatalf("cell %+v: P=0 overhead must be exactly 1", c)
+		}
+	}
+	out := FaultTable(cells).String()
+	for _, want := range []string{"alg1", "alg2", "dropP", "complete", "retx"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -30,6 +30,14 @@ type Options struct {
 	MaxCompRounds int
 	// Hook observes automaton transitions.
 	Hook automaton.Hook
+	// Fault optionally drops deliveries (nil = reliable).
+	Fault net.FaultInjector
+	// Recovery enables the automaton's loss-recovery extension: unmatched
+	// inviters retransmit unanswered invitations and matched nodes answer
+	// them from committed state, so the matching completes under the
+	// fault injectors of package net. Off (the zero value), behavior is
+	// identical to the reliable-delivery protocol.
+	Recovery automaton.Recovery
 	// Weights, when non-nil (indexed by graph.EdgeID, all finite), turns
 	// the protocol greedy-by-weight: inviters invite on their heaviest
 	// live edge and listeners accept their heaviest invitation, so the
@@ -77,7 +85,8 @@ func MaximalMatching(g *graph.Graph, opt Options) (*Result, error) {
 	pairings := make([]*mmPairing, g.N())
 	for u := 0; u < g.N(); u++ {
 		pairings[u] = newPairing(g, u, opt.Weights)
-		nodes[u] = automaton.NewDriver(u, base.Derive(uint64(u)), pairings[u], opt.Hook)
+		nodes[u] = automaton.NewDriver(u, base.Derive(uint64(u)), pairings[u], opt.Hook).
+			WithRecovery(opt.Recovery)
 	}
 	maxComp := opt.MaxCompRounds
 	if maxComp <= 0 {
@@ -87,7 +96,10 @@ func MaximalMatching(g *graph.Graph, opt Options) (*Result, error) {
 	if eng == nil {
 		eng = net.RunSync
 	}
-	netRes, err := eng(g, nodes, net.Config{MaxRounds: automaton.DriverPhases * maxComp})
+	netRes, err := eng(g, nodes, net.Config{
+		MaxRounds: automaton.DriverPhases * maxComp,
+		Fault:     opt.Fault,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +244,21 @@ func (p *mmPairing) Respond(mine, _ []msg.Message, r *rng.Rand) (msg.Message, bo
 // Complete records the acceptance of this node's own invitation.
 func (p *mmPairing) Complete(response msg.Message) {
 	p.matchedEdge = graph.EdgeID(response.Edge)
+}
+
+// Reaffirm implements automaton.Reaffirmer: a matched node answers late
+// or retransmitted invitations from its committed state. An invitation
+// for the edge it matched means its Response was lost — re-send it; an
+// invitation for another edge means its match announcement was lost —
+// re-announce, so the inviter stops waiting and renegotiates elsewhere.
+func (p *mmPairing) Reaffirm(invite msg.Message) (msg.Message, bool) {
+	if p.matchedEdge < 0 {
+		return msg.Message{}, false
+	}
+	if int(p.matchedEdge) == invite.Edge {
+		return msg.Message{Kind: msg.KindResponse, To: invite.From, Edge: invite.Edge, Color: -1}, true
+	}
+	return msg.Message{Kind: msg.KindUpdate, To: msg.Broadcast, Edge: int(p.matchedEdge), Color: -1}, true
 }
 
 // Exchange announces a fresh match to the neighborhood, once.

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dima/internal/automaton"
 	"dima/internal/gen"
 	"dima/internal/graph"
 	"dima/internal/net"
@@ -127,6 +128,87 @@ func TestQuickMatchingAlwaysMaximal(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Without recovery, a single lost Response strands a half-matched edge:
+// the responder committed and the inviter never learns. MaximalMatching
+// surfaces that as an assembly error or an invalid matching — the
+// behavior the recovery layer exists to fix.
+func TestMatchingWithoutRecoveryBreaksUnderDrop(t *testing.T) {
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(21), 80, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broke := false
+	for seed := uint64(0); seed < 10 && !broke; seed++ {
+		res, err := MaximalMatching(g, Options{
+			Seed:          seed,
+			MaxCompRounds: 400,
+			Fault:         net.DropRate{Seed: 99, P: 0.1},
+		})
+		broke = err != nil || !res.Terminated ||
+			len(verify.MaximalMatching(g, res.Edges)) != 0
+	}
+	if !broke {
+		t.Fatal("every faulty run produced a valid matching without recovery; test premise gone")
+	}
+}
+
+func TestMatchingRecoveryUnderDropRate(t *testing.T) {
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(21), 80, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := automaton.Recovery{Enabled: true}
+	for seed := uint64(0); seed < 10; seed++ {
+		res := mustMatch(t, g, Options{
+			Seed:     seed,
+			Fault:    net.DropRate{Seed: 99, P: 0.1},
+			Recovery: rec,
+		})
+		if g.M() > 0 && len(res.Edges) == 0 {
+			t.Fatalf("seed %d: empty matching", seed)
+		}
+	}
+}
+
+func TestMatchingRecoveryUnderBlackout(t *testing.T) {
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(23), 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatch(t, g, Options{
+		Seed:     31,
+		Fault:    net.Blackout{FromRound: 4, ToRound: 16},
+		Recovery: automaton.Recovery{Enabled: true},
+	})
+}
+
+// Recovery runs must stay deterministic and engine-independent: faults
+// are deterministic injectors and recovery decisions are functions of
+// (state, sorted inbox, own RNG), so RunSync and RunChan agree.
+func TestMatchingRecoveryEngineEquivalence(t *testing.T) {
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(25), 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		Seed:     17,
+		Fault:    net.DropRate{Seed: 5, P: 0.15},
+		Recovery: automaton.Recovery{Enabled: true},
+	}
+	opt.Engine = net.RunSync
+	a := mustMatch(t, g, opt)
+	opt.Engine = net.RunChan
+	b := mustMatch(t, g, opt)
+	if len(a.Edges) != len(b.Edges) || a.CompRounds != b.CompRounds || a.Messages != b.Messages {
+		t.Fatalf("engines diverged under faults: %+v vs %+v", a, b)
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("engines diverged at edge %d", i)
+		}
 	}
 }
 

@@ -55,6 +55,16 @@ type RoundStats struct {
 	ConflictsDropped int `json:"conflicts_dropped,omitempty"`
 	DefensiveRejects int `json:"defensive_rejects,omitempty"`
 
+	// Recovery-layer activity observed this round (all zero unless the
+	// run enables core.Options.Recovery): retransmissions after an
+	// acknowledgement timeout, assignments repaired from a partner's
+	// authoritative state, one-sided assignments reverted by a negative
+	// acknowledgement, and status probes for stalled items.
+	Retransmits int `json:"retransmits,omitempty"`
+	Repairs     int `json:"repairs,omitempty"`
+	Reverts     int `json:"reverts,omitempty"`
+	Probes      int `json:"probes,omitempty"`
+
 	// Messages, Deliveries, and Bytes are the round's traffic totals;
 	// ByKind splits them by wire message kind (invite, response, claim,
 	// decide, update), omitting kinds with no traffic.
@@ -160,6 +170,7 @@ func Multi(sinks ...Sink) Sink {
 // what the debug server's /metrics endpoint exposes during a run.
 type RoundAggregator struct {
 	rounds, messages, deliveries, bytes, conflicts, rejects, colored *Counter
+	retransmits, repairs, reverts, probes                            *Counter
 	active, paired, numColors                                        *Gauge
 	roundMsgs, roundActive                                           *Histogram
 }
@@ -175,6 +186,10 @@ func NewRoundAggregator(reg *Registry) *RoundAggregator {
 		conflicts:   reg.Counter("conflicts_dropped_total"),
 		rejects:     reg.Counter("defensive_rejects_total"),
 		colored:     reg.Counter("colored_total"),
+		retransmits: reg.Counter("retransmits_total"),
+		repairs:     reg.Counter("repairs_total"),
+		reverts:     reg.Counter("reverts_total"),
+		probes:      reg.Counter("probes_total"),
 		active:      reg.Gauge("active"),
 		paired:      reg.Gauge("paired"),
 		numColors:   reg.Gauge("num_colors"),
@@ -192,6 +207,10 @@ func (a *RoundAggregator) EmitRound(rs RoundStats) {
 	a.conflicts.Add(int64(rs.ConflictsDropped))
 	a.rejects.Add(int64(rs.DefensiveRejects))
 	a.colored.Add(int64(rs.Colored))
+	a.retransmits.Add(int64(rs.Retransmits))
+	a.repairs.Add(int64(rs.Repairs))
+	a.reverts.Add(int64(rs.Reverts))
+	a.probes.Add(int64(rs.Probes))
 	a.active.Set(int64(rs.Active))
 	a.paired.Set(int64(rs.Paired))
 	a.numColors.Set(int64(rs.NumColors))

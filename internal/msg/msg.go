@@ -36,6 +36,14 @@ const (
 	// E (exchange) state broadcast that keeps one-hop color knowledge
 	// current.
 	KindUpdate
+	// KindAck is the recovery layer's control message, outside the
+	// paper's reliable-delivery model. Three shapes share the kind:
+	// Keep == true acknowledges receipt of a Response (or an adopted
+	// assignment) for Edge; Keep == false with Color >= 0 is a negative
+	// acknowledgement telling the addressee to revert its one-sided
+	// assignment of Color to Edge; Keep == false with Color == -1 is a
+	// status probe asking the addressee whether it believes Edge colored.
+	KindAck
 )
 
 // Broadcast is the To value for messages with no specific addressee.
@@ -43,7 +51,7 @@ const Broadcast = -1
 
 // KindCount is one past the largest Kind value — the size for arrays
 // indexed directly by Kind (index 0, below KindInvite, stays unused).
-const KindCount = int(KindUpdate) + 1
+const KindCount = int(KindAck) + 1
 
 func (k Kind) String() string {
 	switch k {
@@ -57,6 +65,8 @@ func (k Kind) String() string {
 		return "decide"
 	case KindUpdate:
 		return "update"
+	case KindAck:
+		return "ack"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -75,24 +85,32 @@ type Message struct {
 	To     int // addressee, or Broadcast
 	Edge   int // EdgeID (Algorithm 1) or ArcID (Algorithm 2)
 	Color  int
-	Keep   bool    // KindDecide: endpoint's verdict
+	Keep   bool    // KindDecide: endpoint's verdict; KindAck: ack vs nack/probe
+	Seq    uint32  // retransmission sequence number; 0 for first sends
 	Paints []Paint // KindUpdate: finalized assignments
 }
 
 func (m Message) String() string {
+	seq := ""
+	if m.Seq > 0 {
+		seq = fmt.Sprintf(" seq=%d", m.Seq)
+	}
 	switch m.Kind {
-	case KindDecide:
-		return fmt.Sprintf("%s{%d->%d e%d c%d keep=%v}", m.Kind, m.From, m.To, m.Edge, m.Color, m.Keep)
+	case KindDecide, KindAck:
+		return fmt.Sprintf("%s{%d->%d e%d c%d keep=%v%s}", m.Kind, m.From, m.To, m.Edge, m.Color, m.Keep, seq)
 	case KindUpdate:
-		return fmt.Sprintf("%s{%d->%d %v}", m.Kind, m.From, m.To, m.Paints)
+		return fmt.Sprintf("%s{%d->%d %v%s}", m.Kind, m.From, m.To, m.Paints, seq)
 	default:
-		return fmt.Sprintf("%s{%d->%d e%d c%d}", m.Kind, m.From, m.To, m.Edge, m.Color)
+		return fmt.Sprintf("%s{%d->%d e%d c%d%s}", m.Kind, m.From, m.To, m.Edge, m.Color, seq)
 	}
 }
 
-// Less orders messages canonically. Inboxes are sorted with Less before
-// being handed to protocol logic so that the deterministic sequential
-// runtime and the goroutine runtime produce identical executions.
+// Less orders messages canonically, comparing every field so that the
+// order is total: inboxes are sorted with Less before being handed to
+// protocol logic, and any pair of distinct messages — including two
+// Decide or Update messages from the same sender differing only in Keep
+// or Paints — must sort the same way under both engines for the
+// RunSync/RunChan equivalence to hold.
 func Less(a, b Message) bool {
 	if a.From != b.From {
 		return a.From < b.From
@@ -106,7 +124,25 @@ func Less(a, b Message) bool {
 	if a.Edge != b.Edge {
 		return a.Edge < b.Edge
 	}
-	return a.Color < b.Color
+	if a.Color != b.Color {
+		return a.Color < b.Color
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Keep != b.Keep {
+		return !a.Keep // false sorts before true
+	}
+	// Paints compare lexicographically, a strict prefix sorting first.
+	for i := 0; i < len(a.Paints) && i < len(b.Paints); i++ {
+		if a.Paints[i] != b.Paints[i] {
+			if a.Paints[i].Edge != b.Paints[i].Edge {
+				return a.Paints[i].Edge < b.Paints[i].Edge
+			}
+			return a.Paints[i].Color < b.Paints[i].Color
+		}
+	}
+	return len(a.Paints) < len(b.Paints)
 }
 
 // Size returns the encoded size of m in bytes without encoding it.
@@ -114,8 +150,11 @@ func (m Message) Size() int {
 	n := 1 + // kind byte
 		varintLen(int64(m.From)) + varintLen(int64(m.To)) +
 		varintLen(int64(m.Edge)) + varintLen(int64(m.Color)) +
-		1 + // keep byte
+		1 + // flags byte
 		uvarintLen(uint64(len(m.Paints)))
+	if m.Seq > 0 {
+		n += uvarintLen(uint64(m.Seq))
+	}
 	for _, p := range m.Paints {
 		n += varintLen(int64(p.Edge)) + varintLen(int64(p.Color))
 	}
@@ -137,20 +176,34 @@ func uvarintLen(v uint64) int {
 	return n
 }
 
+// Flag bits of the encoded flags byte.
+const (
+	flagKeep = 1 << 0 // Keep is true
+	flagSeq  = 1 << 1 // a uvarint Seq follows the flags byte
+)
+
 // Append appends the binary encoding of m to buf and returns the result.
 // The format is: kind byte, then varint-encoded From, To, Edge, Color
-// (zig-zag for the possibly-negative fields), a keep byte, and a
-// length-prefixed paint list.
+// (zig-zag for the possibly-negative fields), a flags byte, an optional
+// uvarint sequence number (flagSeq, present only when Seq > 0 so that
+// first-transmission encodings are identical to the pre-recovery wire
+// format), and a length-prefixed paint list.
 func (m Message) Append(buf []byte) []byte {
 	buf = append(buf, byte(m.Kind))
 	buf = binary.AppendVarint(buf, int64(m.From))
 	buf = binary.AppendVarint(buf, int64(m.To))
 	buf = binary.AppendVarint(buf, int64(m.Edge))
 	buf = binary.AppendVarint(buf, int64(m.Color))
+	var flags byte
 	if m.Keep {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
+		flags |= flagKeep
+	}
+	if m.Seq > 0 {
+		flags |= flagSeq
+	}
+	buf = append(buf, flags)
+	if m.Seq > 0 {
+		buf = binary.AppendUvarint(buf, uint64(m.Seq))
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(m.Paints)))
 	for _, p := range m.Paints {
@@ -168,7 +221,7 @@ func Decode(buf []byte) (Message, int, error) {
 		return m, 0, fmt.Errorf("msg: empty buffer")
 	}
 	m.Kind = Kind(buf[0])
-	if m.Kind < KindInvite || m.Kind > KindUpdate {
+	if m.Kind < KindInvite || m.Kind > KindAck {
 		return m, 0, fmt.Errorf("msg: unknown kind %d", buf[0])
 	}
 	pos := 1
@@ -194,17 +247,35 @@ func Decode(buf []byte) (Message, int, error) {
 		return m, 0, err
 	}
 	if pos >= len(buf) {
-		return m, 0, fmt.Errorf("msg: truncated keep byte")
+		return m, 0, fmt.Errorf("msg: truncated flags byte")
 	}
-	m.Keep = buf[pos] == 1
+	flags := buf[pos]
 	pos++
+	if flags&^byte(flagKeep|flagSeq) != 0 {
+		return m, 0, fmt.Errorf("msg: unknown flag bits %#x", flags)
+	}
+	m.Keep = flags&flagKeep != 0
+	if flags&flagSeq != 0 {
+		seq, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return m, 0, fmt.Errorf("msg: truncated sequence number")
+		}
+		if seq == 0 || seq > uint64(^uint32(0)) {
+			return m, 0, fmt.Errorf("msg: implausible sequence number %d", seq)
+		}
+		pos += n
+		m.Seq = uint32(seq)
+	}
 	count, n := binary.Uvarint(buf[pos:])
 	if n <= 0 {
 		return m, 0, fmt.Errorf("msg: truncated paint count")
 	}
 	pos += n
-	if count > uint64(len(buf)) {
-		return m, 0, fmt.Errorf("msg: implausible paint count %d", count)
+	// Each paint encodes to at least two bytes (one per varint), so any
+	// count above half the remaining buffer cannot be satisfied; reject
+	// it before allocating, keeping adversarial buffers cheap.
+	if count > uint64(len(buf)-pos)/2 {
+		return m, 0, fmt.Errorf("msg: implausible paint count %d for %d remaining bytes", count, len(buf)-pos)
 	}
 	if count > 0 {
 		m.Paints = make([]Paint, count)
@@ -224,7 +295,7 @@ func Decode(buf []byte) (Message, int, error) {
 func Equal(a, b Message) bool {
 	if a.Kind != b.Kind || a.From != b.From || a.To != b.To ||
 		a.Edge != b.Edge || a.Color != b.Color || a.Keep != b.Keep ||
-		len(a.Paints) != len(b.Paints) {
+		a.Seq != b.Seq || len(a.Paints) != len(b.Paints) {
 		return false
 	}
 	for i := range a.Paints {

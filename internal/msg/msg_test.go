@@ -16,6 +16,10 @@ func sample() []Message {
 		{Kind: KindUpdate, From: 9, To: Broadcast, Edge: -1, Color: -1,
 			Paints: []Paint{{Edge: 1, Color: 2}, {Edge: 40, Color: 0}}},
 		{Kind: KindUpdate, From: 0, To: Broadcast, Edge: -1, Color: -1},
+		{Kind: KindResponse, From: 7, To: 3, Edge: 12, Color: 0, Seq: 2},
+		{Kind: KindAck, From: 3, To: 7, Edge: 12, Color: 0, Keep: true},
+		{Kind: KindAck, From: 3, To: 7, Edge: 12, Color: 5, Keep: false, Seq: 1},
+		{Kind: KindAck, From: 3, To: 7, Edge: 12, Color: -1, Keep: false},
 	}
 }
 
@@ -68,12 +72,41 @@ func TestDecodeErrors(t *testing.T) {
 		t.Fatal("decoded unknown kind")
 	}
 	// Truncate a valid encoding at every prefix length: must error, never
-	// panic, never succeed.
-	full := sample()[5].Append(nil)
-	for cut := 0; cut < len(full); cut++ {
-		if _, _, err := Decode(full[:cut]); err == nil {
-			t.Fatalf("decoded truncated buffer of %d/%d bytes", cut, len(full))
+	// panic, never succeed. Both a paint-carrying and a seq-carrying
+	// message exercise every decoder branch.
+	for _, i := range []int{5, 9} {
+		full := sample()[i].Append(nil)
+		for cut := 0; cut < len(full); cut++ {
+			if _, _, err := Decode(full[:cut]); err == nil {
+				t.Fatalf("decoded truncated buffer of %d/%d bytes", cut, len(full))
+			}
 		}
+	}
+}
+
+// The paint-count guard must bound the count by the bytes actually
+// remaining (each paint takes >= 2 bytes), not by the whole buffer
+// length: an adversarial count between the two used to pass the guard
+// and reach the paint loop.
+func TestDecodeAdversarialPaintCount(t *testing.T) {
+	// A minimal update header: kind, from, to, edge, color, flags.
+	header := []byte{byte(KindUpdate), 0, 0, 1, 1, 0}
+	// Claim 4 paints with only 3 bytes remaining: 4 <= len(buf) (old
+	// guard passes) but 4 > 3/2 (new guard must reject).
+	buf := append(append([]byte{}, header...), 4, 0, 0, 0)
+	if _, _, err := Decode(buf); err == nil {
+		t.Fatal("decoded message whose paint count exceeds the remaining bytes")
+	}
+	// The same shape with a satisfiable count must still decode.
+	ok := append(append([]byte{}, header...), 2, 0, 0, 0, 0)
+	m, n, err := Decode(ok)
+	if err != nil || n != len(ok) || len(m.Paints) != 2 {
+		t.Fatalf("valid 2-paint message failed: %v n=%d err=%v", m, n, err)
+	}
+	// A huge count must be rejected without allocating.
+	huge := append(append([]byte{}, header...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, _, err := Decode(huge); err == nil {
+		t.Fatal("decoded message with a huge paint count")
 	}
 }
 
@@ -94,6 +127,43 @@ func TestLessIsStrictWeakOrder(t *testing.T) {
 		for _, b := range msgs {
 			if Less(a, b) && Less(b, a) {
 				t.Fatalf("Less not antisymmetric on %v, %v", a, b)
+			}
+		}
+	}
+}
+
+// Less must be a TOTAL order: any two distinct messages compare one way
+// or the other, so sort.Slice cannot leave engine-dependent tie orders.
+// The regression cases are the field pairs the old comparator ignored:
+// Keep, Paints, and Seq.
+func TestLessIsTotal(t *testing.T) {
+	pairs := [][2]Message{
+		{{Kind: KindDecide, From: 3, Edge: 5, Color: 1, Keep: false},
+			{Kind: KindDecide, From: 3, Edge: 5, Color: 1, Keep: true}},
+		{{Kind: KindUpdate, From: 3, Edge: -1, Color: -1, Paints: []Paint{{1, 2}}},
+			{Kind: KindUpdate, From: 3, Edge: -1, Color: -1, Paints: []Paint{{1, 3}}}},
+		{{Kind: KindUpdate, From: 3, Edge: -1, Color: -1, Paints: []Paint{{1, 2}}},
+			{Kind: KindUpdate, From: 3, Edge: -1, Color: -1, Paints: []Paint{{1, 2}, {4, 0}}}},
+		{{Kind: KindResponse, From: 3, To: 1, Edge: 5, Color: 1},
+			{Kind: KindResponse, From: 3, To: 1, Edge: 5, Color: 1, Seq: 1}},
+		{{Kind: KindAck, From: 3, To: 1, Edge: 5, Color: 1, Keep: true},
+			{Kind: KindAck, From: 3, To: 1, Edge: 5, Color: 1, Keep: true, Seq: 2}},
+	}
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		if Equal(a, b) {
+			t.Fatalf("test pair not distinct: %v", a)
+		}
+		if Less(a, b) == Less(b, a) {
+			t.Fatalf("Less cannot order %v and %v", a, b)
+		}
+	}
+	// All sample messages are pairwise distinct and must be ordered.
+	msgs := sample()
+	for i, a := range msgs {
+		for _, b := range msgs[i+1:] {
+			if !Equal(a, b) && Less(a, b) == Less(b, a) {
+				t.Fatalf("Less cannot order %v and %v", a, b)
 			}
 		}
 	}
@@ -122,7 +192,8 @@ func TestSortStable(t *testing.T) {
 func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		KindInvite: "invite", KindResponse: "response", KindClaim: "claim",
-		KindDecide: "decide", KindUpdate: "update", Kind(77): "kind(77)",
+		KindDecide: "decide", KindUpdate: "update", KindAck: "ack",
+		Kind(77): "kind(77)",
 	}
 	for k, want := range names {
 		if k.String() != want {
@@ -132,11 +203,11 @@ func TestKindString(t *testing.T) {
 }
 
 func TestQuickRoundTrip(t *testing.T) {
-	f := func(kind uint8, from, to, edge, color int16, keep bool, paintsRaw []int16) bool {
-		k := Kind(kind%5) + KindInvite
+	f := func(kind uint8, from, to, edge, color int16, keep bool, seq uint32, paintsRaw []int16) bool {
+		k := Kind(kind%6) + KindInvite
 		m := Message{
 			Kind: k, From: int(from), To: int(to),
-			Edge: int(edge), Color: int(color), Keep: keep,
+			Edge: int(edge), Color: int(color), Keep: keep, Seq: seq,
 		}
 		for i := 0; i+1 < len(paintsRaw); i += 2 {
 			m.Paints = append(m.Paints, Paint{Edge: int(paintsRaw[i]), Color: int(paintsRaw[i+1])})

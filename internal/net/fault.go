@@ -17,7 +17,11 @@ type DropRate struct {
 	P    float64
 }
 
-// Drop implements FaultInjector.
+// Drop implements FaultInjector. Every field enters the hash through
+// its own Mix64 step: packing round/From/To into one word would make
+// node ids >= 2^20 (or very high rounds) alias and correlate drop
+// decisions across unrelated deliveries. Seq participates so that a
+// retransmission's fate is independent of the original transmission's.
 func (d DropRate) Drop(round int, m msg.Message, to int) bool {
 	if d.P <= 0 {
 		return false
@@ -25,8 +29,10 @@ func (d DropRate) Drop(round int, m msg.Message, to int) bool {
 	if d.P >= 1 {
 		return true
 	}
-	h := rng.Mix64(d.Seed ^ rng.Mix64(uint64(round)<<40|uint64(uint32(m.From))<<20|uint64(uint32(to))))
-	h = rng.Mix64(h ^ uint64(m.Kind)<<56 ^ uint64(uint32(m.Edge)))
+	h := rng.Mix64(d.Seed ^ rng.Mix64(uint64(round)))
+	h = rng.Mix64(h ^ uint64(int64(m.From)))
+	h = rng.Mix64(h ^ uint64(int64(to)))
+	h = rng.Mix64(h ^ uint64(m.Kind)<<56 ^ uint64(m.Seq)<<32 ^ uint64(uint32(int32(m.Edge))))
 	frac := float64(h>>11) / (1 << 53)
 	return frac < d.P
 }

@@ -44,6 +44,56 @@ func TestDropRateDeterministic(t *testing.T) {
 	}
 }
 
+// The bit-packed key of the old hash aliased (From=1, To=0) with
+// (From=0, To=2^20) — and generally any ids >= 2^20 — silently
+// correlating drops between unrelated deliveries. With per-field mixing
+// the two streams must disagree somewhere.
+func TestDropRateNoLargeIDAliasing(t *testing.T) {
+	d := DropRate{Seed: 11, P: 0.5}
+	aliased := 0
+	const trials = 512
+	for round := 0; round < trials; round++ {
+		a := d.Drop(round, msg.Message{Kind: msg.KindInvite, From: 1, Edge: 3}, 0)
+		b := d.Drop(round, msg.Message{Kind: msg.KindInvite, From: 0, Edge: 3}, 1<<20)
+		if a == b {
+			aliased++
+		}
+	}
+	if aliased == trials {
+		t.Fatal("large-id deliveries fully correlated with small-id deliveries")
+	}
+	// Rounds beyond 2^24 used to shift into the From/To bits; they too
+	// must produce independent decisions.
+	same := 0
+	for i := 0; i < trials; i++ {
+		a := d.Drop(i, msg.Message{Kind: msg.KindInvite, From: 2, Edge: 5}, 3)
+		b := d.Drop(i+1<<24, msg.Message{Kind: msg.KindInvite, From: 2, Edge: 5}, 3)
+		if a == b {
+			same++
+		}
+	}
+	if same == trials {
+		t.Fatal("high-round deliveries fully correlated with low-round deliveries")
+	}
+}
+
+// A retransmission (Seq > 0) must face an independent drop decision:
+// if the original's fate determined the retry's, a dropped message
+// would be dropped forever and the recovery layer could never converge.
+func TestDropRateSeqIndependence(t *testing.T) {
+	d := DropRate{Seed: 13, P: 0.5}
+	differ := false
+	for round := 0; round < 256 && !differ; round++ {
+		m := msg.Message{Kind: msg.KindResponse, From: 4, To: 7, Edge: 9}
+		r := m
+		r.Seq = 1
+		differ = d.Drop(round, m, 7) != d.Drop(round, r, 7)
+	}
+	if !differ {
+		t.Fatal("retransmissions share the original's drop decisions")
+	}
+}
+
 func TestDropLink(t *testing.T) {
 	d := DropLink{From: 2, To: 5}
 	if !d.Drop(0, msg.Message{From: 2}, 5) {
