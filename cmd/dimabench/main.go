@@ -73,13 +73,15 @@ func figures() []figure {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, or all")
-		scale   = flag.Float64("scale", 1.0, "fraction of the paper's 50 repetitions per cell")
-		seed    = flag.Uint64("seed", 2012, "master seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		csvPath = flag.String("csv", "", "also write the rounds series as CSV")
-		savePth = flag.String("save", "", "persist raw runs as JSON (per figure: <fig>-<name>)")
-		plot    = flag.Bool("plot", true, "render ASCII rounds-vs-Δ scatter plots")
+		exp      = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, or all")
+		scale    = flag.Float64("scale", 1.0, "fraction of the paper's 50 repetitions per cell (for -exp scale: graph-size multiplier)")
+		seed     = flag.Uint64("seed", 2012, "master seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); for -exp scale: shard engine worker count")
+		engSel   = flag.String("engine", "", "scale experiment: comma-separated engines to benchmark (default sync,chan,shard)")
+		benchOut = flag.String("bench-out", "", "scale experiment: write the report as JSON to this file (e.g. BENCH_PR3.json)")
+		csvPath  = flag.String("csv", "", "also write the rounds series as CSV")
+		savePth  = flag.String("save", "", "persist raw runs as JSON (per figure: <fig>-<name>)")
+		plot     = flag.Bool("plot", true, "render ASCII rounds-vs-Δ scatter plots")
 
 		metricsOut = flag.String("metrics-out", "", "telemetry experiment: write per-round JSONL (files prefixed alg1-/alg2-)")
 		traceOut   = flag.String("trace-out", "", "telemetry experiment: write Chrome traces (files prefixed alg1-/alg2-)")
@@ -282,6 +284,12 @@ func main() {
 		anyRan = true
 		runTelemetry(*seed, reg, *metricsOut, *traceOut)
 	}
+	// The scale sweep is explicit-only: at scale 1 it colors a million-
+	// vertex graph per engine, far too heavy to ride along with "all".
+	if selected["scale"] {
+		anyRan = true
+		runScale(*seed, *scale, *workers, *engSel, *benchOut)
+	}
 	if runAll || selected["faults"] {
 		anyRan = true
 		start := time.Now()
@@ -300,8 +308,60 @@ func main() {
 		fmt.Println()
 	}
 	if !anyRan {
-		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, or all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, or all)", *exp))
 	}
+}
+
+// runScale executes the engine scale sweep (docs/PERFORMANCE.md): the
+// same Algorithm 1 run per engine over a graph-size ladder, recording
+// wall-clock, allocations, rounds, and traffic, cross-checking that the
+// engines agree on the coloring, and optionally persisting the report
+// (-bench-out BENCH_PR3.json is the committed baseline).
+func runScale(seed uint64, scale float64, workers int, engineList, benchOut string) {
+	cfg := experiment.DefaultScaleConfig(seed, scale)
+	cfg.Workers = workers
+	if engineList != "" {
+		cfg.Engines = nil
+		for _, e := range strings.Split(engineList, ",") {
+			cfg.Engines = append(cfg.Engines, strings.TrimSpace(e))
+		}
+	}
+	fmt.Println("== scale — engine benchmark: wall-clock, allocations, rounds, and traffic per (engine, n)")
+	fmt.Printf("   er avg-deg=%g, sizes %v, engines %v\n\n", cfg.AvgDeg, cfg.Sizes, cfg.Engines)
+	t := stats.NewTable("engine", "n", "m", "delta", "rounds", "commRounds", "colors", "messages", "wallMS", "allocs", "allocMB")
+	start := time.Now()
+	rep, err := experiment.ScaleSweep(cfg, func(row experiment.ScaleRow) {
+		name := row.Engine
+		if row.Workers > 0 {
+			name = fmt.Sprintf("%s-%d", row.Engine, row.Workers)
+		}
+		fmt.Fprintf(os.Stderr, "dimabench: scale %s n=%d done in %.0fms\n", name, row.N, row.WallMS)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rep.Rows {
+		t.AddRow(row.Engine, row.N, row.M, row.Delta, row.CompRounds, row.CommRounds,
+			row.Colors, row.Messages, fmt.Sprintf("%.1f", row.WallMS),
+			row.Allocs, fmt.Sprintf("%.1f", row.AllocMB))
+	}
+	fmt.Println(t.String())
+	fmt.Printf("%d rows in %v; colorings identical across engines per size\n",
+		len(rep.Rows), time.Since(start).Round(time.Millisecond))
+	if benchOut != "" {
+		f, err := os.Create(benchOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiment.WriteScaleReport(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", benchOut)
+	}
+	fmt.Println()
 }
 
 // runTelemetry executes one instrumented run of each algorithm on the

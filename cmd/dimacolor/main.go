@@ -38,7 +38,8 @@ func main() {
 		strong   = flag.Bool("strong", false, "run Algorithm 2 (strong distance-2 coloring)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		reps     = flag.Int("reps", 1, "run this many seeds (seed, seed+1, ...) and report statistics")
-		engine   = flag.String("engine", "sync", "runtime: sync (sequential) or chan (goroutine per vertex)")
+		engine   = flag.String("engine", "sync", "runtime: sync (sequential), chan (goroutine per vertex), or shard (worker shards)")
+		workers  = flag.Int("workers", 0, "shard engine worker count (0 = GOMAXPROCS; only with -engine shard)")
 		rule     = flag.String("rule", "lowest", "color proposal rule: lowest or random")
 		jsonOut  = flag.String("json", "", "write the coloring as JSON to this file")
 		showTr   = flag.Bool("trace", false, "print per-node automaton timelines (small graphs)")
@@ -64,8 +65,14 @@ func main() {
 		opt.Engine = net.RunSync
 	case "chan":
 		opt.Engine = net.RunChan
+	case "shard":
+		opt.Engine = net.RunShard
+		opt.Workers = *workers
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	if *workers != 0 && *engine != "shard" {
+		fatal(fmt.Errorf("-workers requires -engine shard"))
 	}
 	switch *rule {
 	case "lowest":

@@ -90,6 +90,12 @@ func NewRand(seed uint64) *Rand { return rng.New(seed) }
 // channels. Results are identical to the default sequential runtime.
 var Chan = net.RunChan
 
+// Shard is the sharded runtime for large graphs: Options.Workers
+// goroutines (0 = GOMAXPROCS) each own a contiguous vertex shard, with
+// a deterministic merge barrier between rounds. Results are identical
+// to the default sequential runtime for any worker count.
+var Shard = net.RunShard
+
 // ColorEdges runs Algorithm 1 on g: a proper edge coloring using at most
 // 2Δ-1 colors in O(Δ) expected computation rounds.
 func ColorEdges(g *Graph, opt Options) (*Result, error) {

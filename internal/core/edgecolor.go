@@ -43,6 +43,7 @@ func ColorEdges(g *graph.Graph, opt Options) (*Result, error) {
 		MaxRounds: ecPhases * opt.maxCompRounds(),
 		Fault:     opt.Fault,
 		Observe:   observe,
+		Workers:   opt.Workers,
 	})
 	if err != nil {
 		return nil, err

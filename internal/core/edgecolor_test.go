@@ -163,22 +163,25 @@ func TestEdgeColorDeterministicAcrossRuns(t *testing.T) {
 }
 
 func TestEdgeColorEngineEquivalence(t *testing.T) {
-	// The goroutine/channel runtime must replay the sequential runtime
-	// exactly: same seed, same coloring, same round count.
+	// The concurrent runtimes must replay the sequential runtime exactly:
+	// same seed, same coloring, same rounds and traffic.
 	for seed := uint64(0); seed < 5; seed++ {
 		g, err := gen.ErdosRenyiAvgDegree(rng.New(seed+100), 60, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
 		a := mustColorEdges(t, g, Options{Seed: seed, Engine: net.RunSync})
-		b := mustColorEdges(t, g, Options{Seed: seed, Engine: net.RunChan})
-		if a.CompRounds != b.CompRounds || a.Messages != b.Messages {
-			t.Fatalf("seed %d: engines diverged: sync %d rounds %d msgs, chan %d rounds %d msgs",
-				seed, a.CompRounds, a.Messages, b.CompRounds, b.Messages)
-		}
-		for e := range a.Colors {
-			if a.Colors[e] != b.Colors[e] {
-				t.Fatalf("seed %d: engines diverged at edge %d", seed, e)
+		for _, eng := range testEngines[1:] {
+			b := mustColorEdges(t, g, Options{Seed: seed, Engine: eng.run})
+			if a.CompRounds != b.CompRounds || a.Messages != b.Messages ||
+				a.Deliveries != b.Deliveries || a.Bytes != b.Bytes {
+				t.Fatalf("seed %d: %s diverged from sync: %d rounds %d msgs vs %d rounds %d msgs",
+					seed, eng.name, b.CompRounds, b.Messages, a.CompRounds, a.Messages)
+			}
+			for e := range a.Colors {
+				if a.Colors[e] != b.Colors[e] {
+					t.Fatalf("seed %d: %s diverged from sync at edge %d", seed, eng.name, e)
+				}
 			}
 		}
 	}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"dima/internal/graph"
+	"dima/internal/net"
+)
+
+// shardWorkers pins net.RunShard to a fixed worker count regardless of
+// Options.Workers, so the equivalence tests cover both the single-shard
+// layout and a multi-shard layout with cross-shard merges.
+func shardWorkers(workers int) net.Engine {
+	return func(g *graph.Graph, nodes []net.Node, cfg net.Config) (net.Result, error) {
+		cfg.Workers = workers
+		return net.RunShard(g, nodes, cfg)
+	}
+}
+
+// testEngines is the engine triple every cross-engine property test
+// iterates: the equivalence guarantee is that all of them replay the
+// sequential engine exactly.
+var testEngines = []struct {
+	name string
+	run  net.Engine
+}{
+	{"sync", net.RunSync},
+	{"chan", net.RunChan},
+	{"shard-1", shardWorkers(1)},
+	{"shard-3", shardWorkers(3)},
+}

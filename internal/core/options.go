@@ -39,8 +39,12 @@ type Options struct {
 	// seeds and inputs are identical, on either engine.
 	Seed uint64
 	// Engine executes the protocol; nil means net.RunSync. net.RunChan
-	// runs one goroutine per vertex.
+	// runs one goroutine per vertex; net.RunShard runs Workers shard
+	// goroutines.
 	Engine net.Engine
+	// Workers is the shard count passed to the engine via
+	// net.Config.Workers; 0 means GOMAXPROCS. Only net.RunShard uses it.
+	Workers int
 	// MaxCompRounds bounds the number of computation rounds; 0 means
 	// 100,000. Hitting the bound yields Terminated == false.
 	MaxCompRounds int

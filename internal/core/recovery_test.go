@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"dima/internal/automaton"
@@ -68,10 +69,7 @@ func TestEdgeColorRecoveryCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, engine := range []struct {
-		name string
-		run  net.Engine
-	}{{"sync", net.RunSync}, {"chan", net.RunChan}} {
+	for _, engine := range testEngines {
 		for _, fc := range recoveryFaults(99) {
 			for seed := uint64(0); seed < 6; seed++ {
 				res, err := ColorEdges(g, recoveryOptions(seed, fc.fault, engine.run))
@@ -91,10 +89,7 @@ func TestStrongColorRecoveryCompletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := graph.NewSymmetric(g)
-	for _, engine := range []struct {
-		name string
-		run  net.Engine
-	}{{"sync", net.RunSync}, {"chan", net.RunChan}} {
+	for _, engine := range testEngines {
 		for _, fc := range recoveryFaults(99) {
 			for seed := uint64(0); seed < 6; seed++ {
 				res, err := ColorStrong(d, recoveryOptions(seed, fc.fault, engine.run))
@@ -166,21 +161,114 @@ func TestRecoveryEnginesEquivalentUnderFaults(t *testing.T) {
 		}
 		for seed := uint64(0); seed < 3; seed++ {
 			sres, srounds := run(strong, net.RunSync, seed)
-			cres, crounds := run(strong, net.RunChan, seed)
-			if !reflect.DeepEqual(sres, cres) {
-				t.Fatalf("%s seed %d: results differ across engines:\nsync: %+v\nchan: %+v",
-					name, seed, sres, cres)
-			}
-			if len(srounds) != len(crounds) {
-				t.Fatalf("%s seed %d: round streams differ in length: %d vs %d",
-					name, seed, len(srounds), len(crounds))
-			}
-			for i := range srounds {
-				if !reflect.DeepEqual(srounds[i], crounds[i]) {
-					t.Fatalf("%s seed %d: round %d stats differ:\nsync: %+v\nchan: %+v",
-						name, seed, i, srounds[i], crounds[i])
+			for _, eng := range testEngines[1:] {
+				cres, crounds := run(strong, eng.run, seed)
+				if !reflect.DeepEqual(sres, cres) {
+					t.Fatalf("%s seed %d: results differ across engines:\nsync: %+v\n%s: %+v",
+						name, seed, sres, eng.name, cres)
+				}
+				if len(srounds) != len(crounds) {
+					t.Fatalf("%s seed %d: %s round stream length: %d vs %d",
+						name, seed, eng.name, len(srounds), len(crounds))
+				}
+				for i := range srounds {
+					if !reflect.DeepEqual(srounds[i], crounds[i]) {
+						t.Fatalf("%s seed %d: round %d stats differ:\nsync: %+v\n%s: %+v",
+							name, seed, i, srounds[i], eng.name, crounds[i])
+					}
 				}
 			}
+		}
+	}
+}
+
+// resurrectionDetector is an automaton.Hook that flags nodes observed
+// transitioning again after reaching Done — the signature of a finished
+// node pulled back by recovery traffic (a NACK reverting one of its
+// edges rebuilds the machine, which then starts transitioning anew).
+// Engines invoke hooks from concurrent goroutines, hence the mutex.
+type resurrectionDetector struct {
+	mu          sync.Mutex
+	done        map[int]bool
+	resurrected map[int]bool
+}
+
+func newResurrectionDetector() *resurrectionDetector {
+	return &resurrectionDetector{done: map[int]bool{}, resurrected: map[int]bool{}}
+}
+
+func (d *resurrectionDetector) hook(node int, from, to automaton.State) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.done[node] {
+		d.resurrected[node] = true
+		d.done[node] = false
+	}
+	if to == automaton.Done {
+		d.done[node] = true
+	}
+}
+
+func (d *resurrectionDetector) count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.resurrected)
+}
+
+// Done-node resurrection across engines: with recovery enabled a node
+// that reached Done can be flipped back to not-done by a pending inbox.
+// Every engine must therefore evaluate Done() at the same point —
+// immediately after the round's steps — or the engines disagree on the
+// termination round. The test deterministically finds a run where a
+// resurrection actually happens, then requires the chan and shard
+// engines to replay the sync engine exactly on that run.
+func TestRecoveryDoneResurrectionEnginesAgree(t *testing.T) {
+	// Resurrections need heavy sustained loss: lighter rates repair
+	// in-flight edges before any endpoint finishes.
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(3), 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := net.DropRate{Seed: 42, P: 0.35}
+	pinned := uint64(0)
+	foundResurrection := false
+	for seed := uint64(0); seed < 30 && !foundResurrection; seed++ {
+		det := newResurrectionDetector()
+		opt := recoveryOptions(seed, fault, net.RunSync)
+		opt.Hook = det.hook
+		mustColorEdges(t, g, opt)
+		if det.count() > 0 {
+			pinned = seed
+			foundResurrection = true
+		}
+	}
+	if !foundResurrection {
+		t.Fatal("no Done-node resurrection in 30 seeds; regenerate the scenario")
+	}
+	run := func(engine net.Engine) (*Result, []metrics.RoundStats, int) {
+		det := newResurrectionDetector()
+		mem := &metrics.Memory{}
+		opt := recoveryOptions(pinned, fault, engine)
+		opt.Hook = det.hook
+		opt.Metrics = mem
+		res := mustColorEdges(t, g, opt)
+		return res, mem.Rounds, det.count()
+	}
+	sres, srounds, scount := run(net.RunSync)
+	if scount == 0 {
+		t.Fatal("pinned seed no longer resurrects")
+	}
+	for _, eng := range testEngines[1:] {
+		cres, crounds, ccount := run(eng.run)
+		if ccount != scount {
+			t.Fatalf("%s: %d resurrected nodes, sync saw %d", eng.name, ccount, scount)
+		}
+		if !reflect.DeepEqual(sres, cres) {
+			t.Fatalf("%s: result differs on resurrection run:\nsync: %+v\n%s: %+v",
+				eng.name, sres, eng.name, cres)
+		}
+		if !reflect.DeepEqual(srounds, crounds) {
+			t.Fatalf("%s: round streams differ on resurrection run", eng.name)
 		}
 	}
 }

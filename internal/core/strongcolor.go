@@ -48,6 +48,7 @@ func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
 		MaxRounds: scPhases * opt.maxCompRounds(),
 		Fault:     opt.Fault,
 		Observe:   observe,
+		Workers:   opt.Workers,
 	})
 	if err != nil {
 		return nil, err

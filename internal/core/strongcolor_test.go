@@ -132,14 +132,17 @@ func TestStrongColorEngineEquivalence(t *testing.T) {
 	for seed := uint64(0); seed < 3; seed++ {
 		d := symER(t, seed+200, 40, 4)
 		a := mustColorStrong(t, d, Options{Seed: seed, Engine: net.RunSync})
-		b := mustColorStrong(t, d, Options{Seed: seed, Engine: net.RunChan})
-		if a.CompRounds != b.CompRounds || a.Messages != b.Messages {
-			t.Fatalf("seed %d: engines diverged (%d/%d rounds, %d/%d msgs)",
-				seed, a.CompRounds, b.CompRounds, a.Messages, b.Messages)
-		}
-		for i := range a.Colors {
-			if a.Colors[i] != b.Colors[i] {
-				t.Fatalf("seed %d: engines diverged at arc %d", seed, i)
+		for _, eng := range testEngines[1:] {
+			b := mustColorStrong(t, d, Options{Seed: seed, Engine: eng.run})
+			if a.CompRounds != b.CompRounds || a.Messages != b.Messages ||
+				a.Deliveries != b.Deliveries || a.Bytes != b.Bytes {
+				t.Fatalf("seed %d: %s diverged from sync (%d/%d rounds, %d/%d msgs)",
+					seed, eng.name, a.CompRounds, b.CompRounds, a.Messages, b.Messages)
+			}
+			for i := range a.Colors {
+				if a.Colors[i] != b.Colors[i] {
+					t.Fatalf("seed %d: %s diverged from sync at arc %d", seed, eng.name, i)
+				}
 			}
 		}
 	}

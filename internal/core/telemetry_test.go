@@ -111,16 +111,18 @@ func TestRoundStatsTotalsMatchResult(t *testing.T) {
 }
 
 // TestRoundStatsEngineEquivalence: identical seeds produce a
-// byte-identical RoundStats stream on both engines (satellite of the
-// sync/chan equivalence property).
+// byte-identical RoundStats stream on every engine (satellite of the
+// sync/chan/shard equivalence property).
 func TestRoundStatsEngineEquivalence(t *testing.T) {
 	for gname, g := range telemetryGraphs(t) {
 		for _, algo := range []string{"edges", "strong"} {
 			_, syncRounds := runWithMetrics(t, algo, g, Options{Seed: 23, Engine: net.RunSync})
-			_, chanRounds := runWithMetrics(t, algo, g, Options{Seed: 23, Engine: net.RunChan})
-			if !reflect.DeepEqual(syncRounds, chanRounds) {
-				t.Fatalf("%s/%s: RoundStats streams diverge between engines\nsync: %+v\nchan: %+v",
-					gname, algo, syncRounds, chanRounds)
+			for _, eng := range testEngines[1:] {
+				_, engRounds := runWithMetrics(t, algo, g, Options{Seed: 23, Engine: eng.run})
+				if !reflect.DeepEqual(syncRounds, engRounds) {
+					t.Fatalf("%s/%s: RoundStats streams diverge between engines\nsync: %+v\n%s: %+v",
+						gname, algo, syncRounds, eng.name, engRounds)
+				}
 			}
 		}
 	}

@@ -64,6 +64,49 @@ e 2 3
 	}
 }
 
+// DIMACS endpoints are 1-indexed: the boundary vertex N is valid (it
+// becomes N-1), while 0 and N+1 are out of range after shifting. Self
+// loops and duplicate edges are rejected in either indexing.
+func TestReadGraphDIMACSBoundaries(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("p edge 3 2\ne 3 1\ne 2 3\n"))
+	if err != nil {
+		t.Fatalf("boundary endpoint N rejected: %v", err)
+	}
+	if !g.HasEdge(2, 0) || !g.HasEdge(1, 2) {
+		t.Fatal("boundary endpoints shifted wrong")
+	}
+	bad := map[string]string{
+		"zero endpoint":    "p edge 3 1\ne 0 2\n", // 0 shifts to -1
+		"beyond n":         "p edge 3 1\ne 1 4\n",
+		"negative":         "p edge 3 1\ne -1 2\n",
+		"self loop":        "p edge 3 1\ne 2 2\n",
+		"duplicate":        "p edge 3 2\ne 1 2\ne 2 1\n",
+		"edge on empty":    "p edge 0 1\ne 1 1\n",
+		"bad vertex count": "p edge x 1\n",
+	}
+	for name, src := range bad {
+		if _, err := ReadGraph(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+// The native format is 0-indexed: N-1 is the boundary, N is out.
+func TestReadGraphNativeBoundaries(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("n 3\ne 2 0\n"))
+	if err != nil || !g.HasEdge(0, 2) {
+		t.Fatalf("boundary endpoint N-1 rejected: %v", err)
+	}
+	for name, src := range map[string]string{
+		"endpoint n":        "n 3\ne 3 0\n",
+		"negative endpoint": "n 3\ne -1 2\n",
+	} {
+		if _, err := ReadGraph(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
 func TestReadGraphErrors(t *testing.T) {
 	cases := map[string]string{
 		"no header":         "e 0 1\n",
@@ -142,6 +185,15 @@ func FuzzReadGraph(f *testing.F) {
 	f.Add("p edge 3 2\ne 1 2\ne 2 3\n")
 	f.Add("# comment\nn 0\n")
 	f.Add("n 2\ne 0 0\n")
+	f.Add("p edge 3 2\ne 3 1\n")           // DIMACS boundary endpoint N
+	f.Add("p edge 3 1\ne 0 2\n")           // DIMACS 0 shifts to -1
+	f.Add("n 3\ne 3 0\n")                  // native out of range
+	f.Add("n 3\ne -1 2\n")                 // negative endpoint
+	f.Add("n 3\ne 0 1\ne 1 0\n")           // duplicate edge, reversed
+	f.Add("n 99999999999999999999\n")      // overflowing vertex count
+	f.Add("p edge 2 1\ne 1 2\ne 1 2\n")    // DIMACS duplicate
+	f.Add("c\nc x\np edge 2 1\ne 1 2\n")   // DIMACS comments
+	f.Add("n 3\n\n \t\ne 0 2\n# trailing") // whitespace soup
 	f.Fuzz(func(t *testing.T, src string) {
 		g, err := ReadGraph(strings.NewReader(src))
 		if err != nil {

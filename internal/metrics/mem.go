@@ -1,0 +1,28 @@
+package metrics
+
+import "runtime"
+
+// AllocDelta reports the heap activity of a measured section: Allocs is
+// the number of heap objects allocated, Bytes their cumulative size.
+// Both are cumulative counters, so deltas are meaningful even when the
+// garbage collector runs mid-section.
+type AllocDelta struct {
+	Allocs uint64
+	Bytes  uint64
+}
+
+// MeasureAllocs runs f and returns the heap objects and bytes it
+// allocated. ReadMemStats stops the world, so the measurement itself is
+// not free; use it around whole runs (the scale sweep does), not inner
+// loops. Concurrent background allocation is attributed to f — callers
+// wanting clean numbers should quiesce other goroutines first.
+func MeasureAllocs(f func()) AllocDelta {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return AllocDelta{
+		Allocs: after.Mallocs - before.Mallocs,
+		Bytes:  after.TotalAlloc - before.TotalAlloc,
+	}
+}

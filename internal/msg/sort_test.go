@@ -1,0 +1,112 @@
+package msg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomMessages builds n messages with field values drawn so that
+// duplicates and near-duplicates (equal prefixes differing only in late
+// Less fields) are common.
+func randomMessages(r *rand.Rand, n int) []Message {
+	kinds := []Kind{KindInvite, KindResponse, KindClaim, KindDecide, KindUpdate, KindAck}
+	out := make([]Message, n)
+	for i := range out {
+		m := Message{
+			Kind:  kinds[r.Intn(len(kinds))],
+			From:  r.Intn(6),
+			To:    r.Intn(6),
+			Edge:  r.Intn(4),
+			Color: r.Intn(3) - 1,
+			Keep:  r.Intn(2) == 0,
+			Seq:   uint32(r.Intn(3)),
+		}
+		if r.Intn(4) == 0 {
+			m.Paints = []Paint{{Edge: r.Intn(3), Color: r.Intn(3)}}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func assertSorted(t *testing.T, label string, got, want []Message) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length changed: %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !Equal(got[i], want[i]) {
+			t.Fatalf("%s: element %d differs:\ngot  %+v\nwant %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// Sort must produce exactly the sequence sort.Slice-with-Less produces:
+// Less is a total order over distinct messages, so any correct sort of
+// the same multiset yields the same value sequence.
+func TestSortMatchesReferenceSort(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	sizes := []int{0, 1, 2, 3, 7, 12, 13, 16, 17, 31, 64, 257, 1000}
+	for _, n := range sizes {
+		for trial := 0; trial < 20; trial++ {
+			msgs := randomMessages(r, n)
+			want := make([]Message, len(msgs))
+			copy(want, msgs)
+			sort.Slice(want, func(i, j int) bool { return Less(want[i], want[j]) })
+			Sort(msgs)
+			assertSorted(t, "random", msgs, want)
+		}
+	}
+}
+
+// Adversarial shapes: already sorted, reversed, all-equal, organ-pipe,
+// and many-duplicates inputs exercise the pivot selection and the
+// depth-limited fallback.
+func TestSortAdversarialShapes(t *testing.T) {
+	const n = 500
+	shapes := map[string]func(i int) Message{
+		"sorted":    func(i int) Message { return Message{Kind: KindInvite, From: i} },
+		"reversed":  func(i int) Message { return Message{Kind: KindInvite, From: n - i} },
+		"all-equal": func(i int) Message { return Message{Kind: KindClaim, From: 3, Edge: 7} },
+		"organpipe": func(i int) Message {
+			v := i
+			if v > n/2 {
+				v = n - v
+			}
+			return Message{Kind: KindInvite, From: v}
+		},
+		"two-values": func(i int) Message { return Message{Kind: KindInvite, From: i % 2} },
+	}
+	for name, f := range shapes {
+		msgs := make([]Message, n)
+		for i := range msgs {
+			msgs[i] = f(i)
+		}
+		want := make([]Message, n)
+		copy(want, msgs)
+		sort.Slice(want, func(i, j int) bool { return Less(want[i], want[j]) })
+		Sort(msgs)
+		assertSorted(t, name, msgs, want)
+	}
+}
+
+func BenchmarkSortInbox(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	base := randomMessages(r, 8)
+	work := make([]Message, len(base))
+	b.Run("specialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(work, base)
+			Sort(work)
+		}
+	})
+	b.Run("reflective", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(work, base)
+			sort.Slice(work, func(i, j int) bool { return Less(work[i], work[j]) })
+		}
+	})
+}

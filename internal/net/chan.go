@@ -1,8 +1,6 @@
 package net
 
 import (
-	"sort"
-
 	"dima/internal/graph"
 	"dima/internal/msg"
 )
@@ -18,6 +16,30 @@ type nodeStatus struct {
 	messages, deliveries, bytes int64
 	// kinds is filled only when the run has a RoundObserver.
 	kinds [msg.KindCount]KindTraffic
+}
+
+// filterDrops applies f to out for receiver v, copying only from the
+// first dropped message on: when nothing is dropped — the common case
+// even under faults — the original slice is returned with zero copies
+// and zero allocations. Each message gets exactly one Drop call (the
+// kept prefix is copied, not re-filtered), so stateful injectors
+// observe the same call sequence as a full filtering pass. *buf is the
+// caller's reusable backing array for the copied case.
+func filterDrops(out []msg.Message, round, v int, f FaultInjector, buf *[]msg.Message) []msg.Message {
+	for i, m := range out {
+		if !f.Drop(round, m, v) {
+			continue
+		}
+		kept := append((*buf)[:0], out[:i]...)
+		for _, m2 := range out[i+1:] {
+			if !f.Drop(round, m2, v) {
+				kept = append(kept, m2)
+			}
+		}
+		*buf = kept
+		return kept
+	}
+	return out
 }
 
 // RunChan executes the protocol with one goroutine per vertex and a
@@ -87,12 +109,24 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 			node := nodes[u]
 			nbrs := g.Neighbors(u)
 			var inbox []msg.Message
+			// filterBufs[i] is reused across rounds for the filtered batch
+			// to neighbor i. Safe: the receiver finishes reading the batch
+			// before it reports status, the coordinator answers ctrl only
+			// after every status, and this sender refills the buffer only
+			// after ctrl — a happens-before chain covering the reuse.
+			var filterBufs [][]msg.Message
+			if cfg.Fault != nil {
+				filterBufs = make([][]msg.Message, len(nbrs))
+			}
 			for round := 0; ; round++ {
-				sort.Slice(inbox, func(i, j int) bool {
-					return msg.Less(inbox[i], inbox[j])
-				})
+				msg.Sort(inbox)
 				out := node.Step(round, inbox)
+				// Done is evaluated here, immediately after the step —
+				// the same evaluation point as RunSync. Evaluating after
+				// the inbox receive below would diverge once a pending
+				// inbox can resurrect a Done node (loss recovery).
 				var st nodeStatus
+				st.done = node.Done()
 				st.messages = int64(len(out))
 				for _, m := range out {
 					sz := int64(m.Size())
@@ -103,19 +137,14 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 						k.Bytes += sz
 					}
 				}
-				// Send this round's batch on every outgoing link. Each
-				// receiver gets its own filtered copy when faults are
-				// configured; otherwise the shared slice is safe because
-				// batches are read-only downstream.
+				// Send this round's batch on every outgoing link. When
+				// faults drop something, the receiver gets its own filtered
+				// copy; otherwise the shared slice is safe because batches
+				// are read-only downstream.
 				for i, v := range nbrs {
 					batch := out
 					if cfg.Fault != nil {
-						batch = nil
-						for _, m := range out {
-							if !cfg.Fault.Drop(round, m, v) {
-								batch = append(batch, m)
-							}
-						}
+						batch = filterDrops(out, round, v, cfg.Fault, &filterBufs[i])
 					}
 					st.deliveries += int64(len(batch))
 					if observing {
@@ -125,15 +154,14 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 					}
 					links[u][i] <- batch
 				}
-				// Receive one batch from every neighbor: the barrier.
-				// A fresh slice each round: nodes may retain inbox
-				// messages across steps.
-				inbox = nil
+				// Receive one batch from every neighbor: the barrier. The
+				// inbox buffer is reused across rounds — the Node contract
+				// forbids retaining the slice.
+				inbox = inbox[:0]
 				for j := range nbrs {
 					inbox = append(inbox, <-fromNbr[u][j]...)
 				}
 				// Coordinator round: report done + traffic, await verdict.
-				st.done = node.Done()
 				status <- st
 				if stop := <-ctrl[u]; stop {
 					return

@@ -35,12 +35,29 @@ type RandomLatency struct {
 	Min, Max float64
 }
 
+// Validate reports configuration errors. Makespan rejects invalid
+// models up front instead of letting Delay silently collapse the range
+// to Min; a degenerate Min == Max range stays valid (constant delay).
+func (r RandomLatency) Validate() error {
+	if r.Min < 0 {
+		return fmt.Errorf("net: RandomLatency.Min %v is negative", r.Min)
+	}
+	if r.Max < r.Min {
+		return fmt.Errorf("net: RandomLatency range [%v, %v] inverted", r.Min, r.Max)
+	}
+	return nil
+}
+
 // Delay implements LatencyModel.
 func (r RandomLatency) Delay(u, v int) float64 {
 	if r.Max <= r.Min {
 		return r.Min
 	}
-	h := rng.Mix64(r.Seed ^ rng.Mix64(uint64(u)<<32|uint64(uint32(v))))
+	// Chain each endpoint through its own Mix64 step. Packing both ids
+	// into one word (u<<32 | low32(v)) would truncate ids >= 2^32 and
+	// alias unrelated links onto the same delay.
+	h := rng.Mix64(r.Seed ^ rng.Mix64(uint64(int64(u))))
+	h = rng.Mix64(h ^ uint64(int64(v)))
 	frac := float64(h>>11) / (1 << 53)
 	return r.Min + frac*(r.Max-r.Min)
 }
@@ -60,6 +77,11 @@ func (r RandomLatency) Delay(u, v int) float64 {
 func Makespan(g *graph.Graph, rounds int, lat LatencyModel) (float64, error) {
 	if rounds < 0 {
 		return 0, fmt.Errorf("net: negative round count %d", rounds)
+	}
+	if v, ok := lat.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return 0, err
+		}
 	}
 	n := g.N()
 	finish := make([]float64, n)

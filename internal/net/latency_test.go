@@ -126,3 +126,57 @@ func TestRandomLatencyRange(t *testing.T) {
 		t.Fatal("degenerate range wrong")
 	}
 }
+
+// Regression for the endpoint-packing bug: Delay used to hash
+// u<<32 | low32(v), so any receiver ids congruent mod 2^32 — and any
+// sender ids differing only above bit 31 — collided onto the same
+// delay. Each endpoint must contribute its full width to the hash.
+func TestRandomLatencyNoEndpointAliasing(t *testing.T) {
+	lat := RandomLatency{Seed: 7, Min: 1, Max: 100}
+	collisions := [][2][2]int{
+		// Receiver truncation: v and v + 2^32 aliased.
+		{{0, 5}, {0, 5 + (1 << 32)}},
+		// Sender overflow: u<<32 discarded u's high bits.
+		{{3, 7}, {3 + (1 << 32), 7}},
+		// Cross-endpoint bleed: (u, v) vs (u+1, v - 2^32).
+		{{1, 1 << 32}, {2, 0}},
+	}
+	for _, c := range collisions {
+		a := lat.Delay(c[0][0], c[0][1])
+		b := lat.Delay(c[1][0], c[1][1])
+		if a == b {
+			t.Errorf("Delay%v == Delay%v == %v: endpoints alias", c[0], c[1], a)
+		}
+	}
+	// And the directed model still gives links their own delays.
+	if lat.Delay(1, 2) == lat.Delay(2, 1) {
+		t.Error("reverse link unexpectedly equal")
+	}
+}
+
+func TestRandomLatencyValidate(t *testing.T) {
+	cases := []struct {
+		lat RandomLatency
+		ok  bool
+	}{
+		{RandomLatency{Min: 1, Max: 5}, true},
+		{RandomLatency{Min: 3, Max: 3}, true},
+		{RandomLatency{Min: 0, Max: 2}, true},
+		{RandomLatency{Min: -1, Max: 5}, false},
+		{RandomLatency{Min: 5, Max: 1}, false},
+	}
+	for _, c := range cases {
+		err := c.lat.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.lat, err, c.ok)
+		}
+	}
+	// Makespan rejects invalid models up front, matching its existing
+	// non-positive-delay check.
+	if _, err := Makespan(gen.Path(3), 4, RandomLatency{Min: 5, Max: 1}); err == nil {
+		t.Fatal("Makespan accepted inverted RandomLatency range")
+	}
+	if _, err := Makespan(gen.Path(3), 4, RandomLatency{Min: -2, Max: 1}); err == nil {
+		t.Fatal("Makespan accepted negative RandomLatency.Min")
+	}
+}

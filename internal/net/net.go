@@ -3,22 +3,24 @@
 // rounds, each vertex is a compute node, and every message a node sends
 // in a round is heard by all of its neighbors (local broadcast).
 //
-// Two interchangeable engines execute the same Node protocol logic:
+// Three interchangeable engines execute the same Node protocol logic:
 //
 //   - RunSync: a deterministic sequential scheduler, used by tests,
 //     benchmarks, and experiments for speed and reproducibility.
 //   - RunChan: a goroutine per node with channels as links, synchronized
 //     by the batch-per-round discipline — the natural Go embodiment of
 //     the message-passing model.
+//   - RunShard: Config.Workers goroutines, each owning a contiguous
+//     vertex shard, with a deterministic two-phase merge barrier — the
+//     scale engine for million-vertex graphs.
 //
 // Given nodes whose behavior is a deterministic function of (round,
-// sorted inbox, per-node RNG), both engines produce identical executions;
+// sorted inbox, per-node RNG), all engines produce identical executions;
 // this equivalence is property-tested in the core package.
 package net
 
 import (
 	"fmt"
-	"sort"
 
 	"dima/internal/graph"
 	"dima/internal/msg"
@@ -65,6 +67,9 @@ type Config struct {
 	// Observe, when non-nil, receives one RoundTraffic per communication
 	// round (see RoundObserver). Nil skips all per-round accounting.
 	Observe RoundObserver
+	// Workers is the number of shard goroutines RunShard uses; 0 means
+	// runtime.GOMAXPROCS(0). RunSync and RunChan ignore it.
+	Workers int
 }
 
 // KindTraffic aggregates one message kind's traffic within a round.
@@ -112,7 +117,8 @@ type Result struct {
 	Terminated bool
 }
 
-// Engine runs a protocol over a topology; RunSync and RunChan satisfy it.
+// Engine runs a protocol over a topology; RunSync, RunChan, and
+// RunShard satisfy it.
 type Engine func(g *graph.Graph, nodes []Node, cfg Config) (Result, error)
 
 func validate(g *graph.Graph, nodes []Node) error {
@@ -164,11 +170,7 @@ func RunSync(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 		var rt RoundTraffic
 		for u := 0; u < g.N(); u++ {
 			in := inboxes[u]
-			if len(in) > 1 {
-				sort.Slice(in, func(i, j int) bool {
-					return msg.Less(in[i], in[j])
-				})
-			}
+			msg.Sort(in)
 			out := nodes[u].Step(round, in)
 			for _, m := range out {
 				sz := int64(m.Size())

@@ -44,8 +44,23 @@ func echoNodes(n int) []Node {
 	return nodes
 }
 
+// shardWith pins RunShard to a fixed worker count so the shared engine
+// tests cover single-shard and multi-shard (cross-shard merge) layouts.
+func shardWith(workers int) Engine {
+	return func(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
+		cfg.Workers = workers
+		return RunShard(g, nodes, cfg)
+	}
+}
+
 func engines() map[string]Engine {
-	return map[string]Engine{"sync": RunSync, "chan": RunChan}
+	return map[string]Engine{
+		"sync":    RunSync,
+		"chan":    RunChan,
+		"shard":   RunShard,
+		"shard-1": shardWith(1),
+		"shard-3": shardWith(3),
+	}
 }
 
 func TestValidation(t *testing.T) {

@@ -1,0 +1,230 @@
+package net
+
+import (
+	"runtime"
+
+	"dima/internal/graph"
+	"dima/internal/msg"
+)
+
+// Worker commands, sent on a shard's cmd channel. Values >= 0 mean
+// "step this round"; the negative values select the other phases.
+const (
+	cmdMerge = -1
+	cmdStop  = -2
+)
+
+// shardDelivery is one post-fault-filter delivery buffered between the
+// step and merge phases: message m is bound for vertex to's next-round
+// inbox.
+type shardDelivery struct {
+	to int
+	m  msg.Message
+}
+
+// RunShard executes the protocol with cfg.Workers goroutines, each
+// owning a contiguous shard of the vertex range. It is the scale
+// engine: where RunChan spends a goroutine and a channel per vertex,
+// RunShard's costs grow with Workers, so million-vertex graphs run
+// without collapsing under scheduler pressure.
+//
+// Each round has two barrier-separated phases:
+//
+//  1. Step: every worker steps its own vertices in id order, sorting
+//     each inbox with msg.Sort first, and appends the surviving
+//     (post-fault) deliveries of each outbound broadcast into a buffer
+//     keyed by the destination vertex's shard. Workers touch only their
+//     own vertices' inboxes and their own outbound buffers, so the
+//     phase is data-race free by partitioning.
+//  2. Merge: every worker fills the next-round inboxes of its own
+//     vertices by draining the buffers addressed to its shard in sender
+//     shard order. Within one sender shard the records are already in
+//     sender id order (workers step in id order), so each inbox fills
+//     in ascending sender id — exactly the append order RunSync
+//     produces. Identical pre-sort inboxes plus the shared msg.Sort
+//     make the executions byte-identical: same final colorings, same
+//     Result, same per-round RoundTraffic stream, for any Workers.
+//
+// The coordinator folds worker statistics in shard order between the
+// phases and invokes cfg.Observe sequentially in round order, matching
+// the other engines' observer contract.
+//
+// cfg.Fault, when non-nil, is called concurrently from all workers and
+// must be safe for concurrent use; the injectors in this package are
+// stateless hashes and qualify. Stateful injectors that are sensitive
+// to call order (e.g. consuming a shared RNG) only reproduce RunSync
+// under Workers == 1.
+func RunShard(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
+	if err := validate(g, nodes); err != nil {
+		return Result{}, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	if allDone(nodes) {
+		return Result{Terminated: true}, nil
+	}
+	n := g.N()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Contiguous shards: shard s owns [bounds[s], bounds[s+1]). The
+	// owner array answers "which shard holds vertex v" in O(1) on the
+	// delivery fast path.
+	bounds := make([]int, workers+1)
+	for s := 0; s <= workers; s++ {
+		bounds[s] = s * n / workers
+	}
+	owner := make([]int32, n)
+	for s := 0; s < workers; s++ {
+		for u := bounds[s]; u < bounds[s+1]; u++ {
+			owner[u] = int32(s)
+		}
+	}
+
+	// Double-buffered inboxes, as in RunSync. Workers read the slice
+	// headers after receiving a command and stop before replying; the
+	// coordinator swaps them only between barriers, so the swap is
+	// ordered by the channel operations.
+	inboxes := make([][]msg.Message, n)
+	next := make([][]msg.Message, n)
+
+	// out[s][d] buffers shard s's deliveries addressed to shard d.
+	out := make([][][]shardDelivery, workers)
+	for s := range out {
+		out[s] = make([][]shardDelivery, workers)
+	}
+
+	observing := cfg.Observe != nil
+	stats := make([]nodeStatus, workers)
+	cmd := make([]chan int, workers)
+	rep := make([]chan struct{}, workers)
+	for s := 0; s < workers; s++ {
+		cmd[s] = make(chan int, 1)
+		rep[s] = make(chan struct{}, 1)
+	}
+
+	for s := 0; s < workers; s++ {
+		go func(s int) {
+			lo, hi := bounds[s], bounds[s+1]
+			for {
+				c := <-cmd[s]
+				switch {
+				case c >= 0: // step phase for round c
+					st := &stats[s]
+					*st = nodeStatus{done: true}
+					for d := range out[s] {
+						out[s][d] = out[s][d][:0]
+					}
+					for u := lo; u < hi; u++ {
+						msg.Sort(inboxes[u])
+						msgs := nodes[u].Step(c, inboxes[u])
+						st.messages += int64(len(msgs))
+						for _, m := range msgs {
+							sz := int64(m.Size())
+							st.bytes += sz
+							var delivered int64
+							for _, v := range g.Neighbors(u) {
+								if cfg.Fault != nil && cfg.Fault.Drop(c, m, v) {
+									continue
+								}
+								d := owner[v]
+								out[s][d] = append(out[s][d], shardDelivery{to: v, m: m})
+								delivered++
+							}
+							st.deliveries += delivered
+							if observing {
+								k := &st.kinds[m.Kind]
+								k.Messages++
+								k.Bytes += sz
+								k.Deliveries += delivered
+							}
+						}
+					}
+					// Done is evaluated here, after the shard's steps and
+					// before any next-round delivery — the same evaluation
+					// point as RunSync.
+					for u := lo; u < hi && st.done; u++ {
+						st.done = nodes[u].Done()
+					}
+					rep[s] <- struct{}{}
+				case c == cmdMerge:
+					for u := lo; u < hi; u++ {
+						next[u] = next[u][:0]
+					}
+					for src := 0; src < workers; src++ {
+						for _, rec := range out[src][s] {
+							next[rec.to] = append(next[rec.to], rec.m)
+						}
+					}
+					rep[s] <- struct{}{}
+				default: // cmdStop
+					return
+				}
+			}
+		}(s)
+	}
+
+	broadcast := func(c int) {
+		for s := 0; s < workers; s++ {
+			cmd[s] <- c
+		}
+		if c == cmdStop {
+			return
+		}
+		for s := 0; s < workers; s++ {
+			<-rep[s]
+		}
+	}
+
+	var res Result
+	for round := 0; round < maxRounds; round++ {
+		broadcast(round)
+		done := true
+		var rt RoundTraffic
+		for s := 0; s < workers; s++ {
+			st := &stats[s]
+			if !st.done {
+				done = false
+			}
+			res.Messages += st.messages
+			res.Deliveries += st.deliveries
+			res.Bytes += st.bytes
+			if observing {
+				for k := range rt.Kinds {
+					rt.Kinds[k].Messages += st.kinds[k].Messages
+					rt.Kinds[k].Deliveries += st.kinds[k].Deliveries
+					rt.Kinds[k].Bytes += st.kinds[k].Bytes
+				}
+				rt.Messages += st.messages
+				rt.Deliveries += st.deliveries
+				rt.Bytes += st.bytes
+			}
+		}
+		if observing {
+			rt.Round = round
+			cfg.Observe(rt)
+		}
+		res.Rounds = round + 1
+		if done {
+			res.Terminated = true
+			break
+		}
+		if round == maxRounds-1 {
+			break
+		}
+		broadcast(cmdMerge)
+		inboxes, next = next, inboxes
+	}
+	broadcast(cmdStop)
+	return res, nil
+}

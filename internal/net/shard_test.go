@@ -1,0 +1,146 @@
+package net
+
+import (
+	"reflect"
+	"testing"
+
+	"dima/internal/gen"
+	"dima/internal/msg"
+	"dima/internal/rng"
+)
+
+// replayNode is a deterministic node for engine-equivalence tests: each
+// round it broadcasts a message derived from its private RNG and the
+// sorted inbox it saw, and records the full inbox history. Any
+// divergence in delivery order or content between engines changes both
+// the recorded history and the downstream traffic.
+type replayNode struct {
+	id     int
+	r      *rng.Rand
+	rounds int
+	limit  int
+	heard  []msg.Message
+}
+
+func (n *replayNode) ID() int { return n.id }
+
+func (n *replayNode) Step(round int, inbox []msg.Message) []msg.Message {
+	n.heard = append(n.heard, inbox...)
+	n.rounds++
+	if round >= n.limit {
+		return nil
+	}
+	// Fold the inbox into the outbound message so the next round's
+	// traffic depends on exactly what this node received.
+	acc := n.r.Uint64()
+	for _, m := range inbox {
+		acc = rng.Mix64(acc ^ uint64(int64(m.From))<<16 ^ uint64(int64(m.Edge)))
+	}
+	return []msg.Message{{
+		Kind:  msg.KindInvite,
+		From:  n.id,
+		To:    msg.Broadcast,
+		Edge:  int(acc % 64),
+		Color: int(acc>>8) % 8,
+	}}
+}
+
+func (n *replayNode) Done() bool { return n.rounds > n.limit }
+
+func replayNodes(n, limit int, seed uint64) []Node {
+	nodes := make([]Node, n)
+	src := rng.New(seed)
+	for i := range nodes {
+		nodes[i] = &replayNode{id: i, r: src.Derive(uint64(i)), limit: limit}
+	}
+	return nodes
+}
+
+type runCapture struct {
+	res    Result
+	rounds []RoundTraffic
+	heard  [][]msg.Message
+}
+
+func captureRun(t *testing.T, run Engine, n, limit int, seed uint64, fault FaultInjector) runCapture {
+	t.Helper()
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(77), n, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := replayNodes(n, limit, seed)
+	var rc runCapture
+	res, err := run(g, nodes, Config{
+		MaxRounds: limit + 5,
+		Fault:     fault,
+		Observe:   func(rt RoundTraffic) { rc.rounds = append(rc.rounds, rt) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.res = res
+	rc.heard = make([][]msg.Message, n)
+	for i, nd := range nodes {
+		rc.heard[i] = nd.(*replayNode).heard
+	}
+	return rc
+}
+
+// RunShard must be observationally identical to RunSync — Result,
+// per-round RoundTraffic stream, and every node's full sorted-inbox
+// history — for any worker count, with and without faults.
+func TestShardMatchesSync(t *testing.T) {
+	const n, limit = 47, 12
+	faults := map[string]FaultInjector{
+		"reliable": nil,
+		"droprate": DropRate{Seed: 9, P: 0.2},
+	}
+	for fname, fault := range faults {
+		want := captureRun(t, RunSync, n, limit, 5, fault)
+		for _, workers := range []int{0, 1, 2, 3, 7, n, n + 10} {
+			got := captureRun(t, shardWith(workers), n, limit, 5, fault)
+			label := fname
+			if got.res != want.res {
+				t.Fatalf("%s workers=%d: Result differs:\nshard: %+v\nsync:  %+v", label, workers, got.res, want.res)
+			}
+			if !reflect.DeepEqual(got.rounds, want.rounds) {
+				t.Fatalf("%s workers=%d: RoundTraffic streams differ", label, workers)
+			}
+			if !reflect.DeepEqual(got.heard, want.heard) {
+				t.Fatalf("%s workers=%d: inbox histories differ", label, workers)
+			}
+		}
+	}
+}
+
+// The chan engine must agree with the same reference runs.
+func TestChanMatchesSync(t *testing.T) {
+	const n, limit = 47, 12
+	for fname, fault := range map[string]FaultInjector{
+		"reliable": nil,
+		"droprate": DropRate{Seed: 9, P: 0.2},
+	} {
+		want := captureRun(t, RunSync, n, limit, 5, fault)
+		got := captureRun(t, RunChan, n, limit, 5, fault)
+		if got.res != want.res {
+			t.Fatalf("%s: Result differs:\nchan: %+v\nsync: %+v", fname, got.res, want.res)
+		}
+		if !reflect.DeepEqual(got.rounds, want.rounds) {
+			t.Fatalf("%s: RoundTraffic streams differ", fname)
+		}
+		if !reflect.DeepEqual(got.heard, want.heard) {
+			t.Fatalf("%s: inbox histories differ", fname)
+		}
+	}
+}
+
+// Shard runs must be reproducible run-to-run for a fixed worker count:
+// the merge barrier imposes a deterministic delivery order even though
+// worker goroutines race to the barrier.
+func TestShardDeterministicAcrossRuns(t *testing.T) {
+	a := captureRun(t, shardWith(3), 33, 9, 11, DropRate{Seed: 4, P: 0.1})
+	b := captureRun(t, shardWith(3), 33, 9, 11, DropRate{Seed: 4, P: 0.1})
+	if a.res != b.res || !reflect.DeepEqual(a.rounds, b.rounds) || !reflect.DeepEqual(a.heard, b.heard) {
+		t.Fatal("same-seed shard runs diverged")
+	}
+}
