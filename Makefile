@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench check
+.PHONY: all build test race vet fmt fmt-check bench check serve-smoke
 
 all: build
 
@@ -30,5 +30,10 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# End-to-end smoke of the dimaserve binary over curl: submit, poll to
+# done, cancel a large job mid-run, drain on SIGTERM (docs/SERVING.md).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 check: build vet fmt-check test race

@@ -89,14 +89,22 @@ func main() {
 	)
 	flag.Parse()
 
+	if *scale <= 0 {
+		usage(fmt.Errorf("-scale wants a positive fraction, got %g", *scale))
+	}
+	if *workers < 0 {
+		usage(fmt.Errorf("-workers wants a non-negative count, got %d", *workers))
+	}
+
 	var reg *metrics.Registry
 	if *pprofAddr != "" {
 		reg = metrics.NewRegistry()
-		addr, err := metrics.StartDebugServer(*pprofAddr, reg)
+		ds, err := metrics.StartDebugServer(*pprofAddr, reg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "dimabench: pprof and /metrics at http://%s\n", addr)
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "dimabench: pprof and /metrics at http://%s\n", ds.Addr())
 	}
 
 	selected := map[string]bool{}
@@ -499,4 +507,11 @@ func writeCSV(f *os.File, runs []experiment.Run) error {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "dimabench: %v\n", err)
 	os.Exit(1)
+}
+
+// usage reports a bad flag value and exits 2, the conventional status
+// for a usage error (runtime failures exit 1).
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "dimabench: %v\n", err)
+	os.Exit(2)
 }

@@ -54,11 +54,22 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := readGraph(*in)
-	if err != nil {
-		fatal(err)
+	// Flag validation happens before any work: a hostile or mistyped
+	// value must exit 2 with a message, never reach a library panic.
+	if *reps < 1 {
+		usage(fmt.Errorf("-reps wants a positive count, got %d", *reps))
 	}
-
+	if *workers < 0 {
+		usage(fmt.Errorf("-workers wants a non-negative count, got %d", *workers))
+	}
+	if *maxComp < 0 {
+		usage(fmt.Errorf("-max-rounds wants a non-negative cap, got %d", *maxComp))
+	}
+	switch *algo {
+	case "dima", "simple", "tree":
+	default:
+		usage(fmt.Errorf("unknown algorithm %q", *algo))
+	}
 	opt := core.Options{Seed: *seed, MaxCompRounds: *maxComp}
 	switch *engine {
 	case "sync":
@@ -69,10 +80,10 @@ func main() {
 		opt.Engine = net.RunShard
 		opt.Workers = *workers
 	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+		usage(fmt.Errorf("unknown engine %q", *engine))
 	}
 	if *workers != 0 && *engine != "shard" {
-		fatal(fmt.Errorf("-workers requires -engine shard"))
+		usage(fmt.Errorf("-workers requires -engine shard"))
 	}
 	switch *rule {
 	case "lowest":
@@ -80,16 +91,21 @@ func main() {
 	case "random":
 		opt.ColorRule = core.RandomAvailable
 	default:
-		fatal(fmt.Errorf("unknown color rule %q", *rule))
+		usage(fmt.Errorf("unknown color rule %q", *rule))
 	}
 	if *strong && *algo != "dima" {
-		fatal(fmt.Errorf("-strong requires -algo dima"))
+		usage(fmt.Errorf("-strong requires -algo dima"))
 	}
 	if (*dropP != 0 || *recover) && *algo != "dima" {
-		fatal(fmt.Errorf("-drop and -recover require -algo dima"))
+		usage(fmt.Errorf("-drop and -recover require -algo dima"))
 	}
 	if *dropP < 0 || *dropP >= 1 {
-		fatal(fmt.Errorf("-drop wants a probability in [0, 1), got %g", *dropP))
+		usage(fmt.Errorf("-drop wants a probability in [0, 1), got %g", *dropP))
+	}
+
+	g, err := readGraph(*in)
+	if err != nil {
+		fatal(err)
 	}
 	if *dropP > 0 {
 		opt.Fault = net.DropRate{Seed: *seed, P: *dropP}
@@ -98,7 +114,7 @@ func main() {
 		opt.Recovery = automaton.Recovery{Enabled: true}
 	}
 	if (*metricsOut != "" || *traceOut != "" || *pprofAddr != "") && *algo != "dima" {
-		fatal(fmt.Errorf("-metrics-out, -trace-out, and -pprof require -algo dima"))
+		usage(fmt.Errorf("-metrics-out, -trace-out, and -pprof require -algo dima"))
 	}
 
 	var rec *trace.Recorder
@@ -108,11 +124,12 @@ func main() {
 	var reg *metrics.Registry
 	if *pprofAddr != "" {
 		reg = metrics.NewRegistry()
-		addr, err := metrics.StartDebugServer(*pprofAddr, reg)
+		ds, err := metrics.StartDebugServer(*pprofAddr, reg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "dimacolor: pprof and /metrics at http://%s\n", addr)
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "dimacolor: pprof and /metrics at http://%s\n", ds.Addr())
 	}
 	var jsonl *metrics.JSONLWriter
 	var sinks []metrics.Sink
@@ -140,7 +157,7 @@ func main() {
 
 	if *reps > 1 {
 		if *jsonOut != "" || *showTr || *metricsOut != "" || *traceOut != "" {
-			fatal(fmt.Errorf("-reps does not combine with -json, -trace, -metrics-out, or -trace-out"))
+			usage(fmt.Errorf("-reps does not combine with -json, -trace, -metrics-out, or -trace-out"))
 		}
 		runStats(g, opt, *algo, *strong, *reps)
 		return
@@ -368,4 +385,11 @@ func readGraph(path string) (*graph.Graph, error) {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "dimacolor: %v\n", err)
 	os.Exit(1)
+}
+
+// usage reports a bad flag combination or value and exits 2, the
+// conventional status for a usage error (runtime failures exit 1).
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "dimacolor: %v\n", err)
+	os.Exit(2)
 }

@@ -1,0 +1,125 @@
+// Command dimaserve runs the HTTP coloring service: clients submit a
+// graph (an uploaded edge list or a generator spec), jobs queue for a
+// worker pool running the shard engine, and runs can be watched,
+// fetched, and canceled over HTTP. docs/SERVING.md documents the API;
+// examples/serving has a curl walkthrough.
+//
+// Usage:
+//
+//	dimaserve -addr :8080 -workers 2 -queue 16
+//	dimaserve -addr 127.0.0.1:0 -timeout 30s   # free port, 30s job cap
+//
+// The service exposes /metrics and /debug/pprof/ on its own address;
+// -pprof additionally serves them on a separate port. SIGINT/SIGTERM
+// trigger a graceful shutdown: submissions stop, queued and running
+// jobs drain, and any still running at -drain-timeout are canceled at
+// their next round barrier.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	stdnet "net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dima/internal/metrics"
+	"dima/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+		queue     = flag.Int("queue", 16, "job queue capacity; a submit beyond it gets 429")
+		workers   = flag.Int("workers", 2, "jobs colored concurrently")
+		shardW    = flag.Int("shard-workers", 0, "shard engine workers per job (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-job wall-clock cap (0 = none)")
+		maxRounds = flag.Int("max-rounds", 0, "computation round cap per job (0 = core default)")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight jobs are canceled")
+		pprofAddr = flag.String("pprof", "", "also serve /metrics and /debug/pprof/ on this separate address")
+	)
+	flag.Parse()
+
+	if *queue < 1 {
+		usage(fmt.Errorf("-queue wants a positive capacity, got %d", *queue))
+	}
+	if *workers < 1 {
+		usage(fmt.Errorf("-workers wants a positive count, got %d", *workers))
+	}
+	if *shardW < 0 {
+		usage(fmt.Errorf("-shard-workers wants a non-negative count, got %d", *shardW))
+	}
+	if *timeout < 0 {
+		usage(fmt.Errorf("-timeout wants a non-negative duration, got %v", *timeout))
+	}
+	if *maxRounds < 0 {
+		usage(fmt.Errorf("-max-rounds wants a non-negative cap, got %d", *maxRounds))
+	}
+	if *drain <= 0 {
+		usage(fmt.Errorf("-drain-timeout wants a positive duration, got %v", *drain))
+	}
+
+	reg := metrics.NewRegistry()
+	svc := service.New(service.Config{
+		QueueSize:    *queue,
+		Workers:      *workers,
+		ShardWorkers: *shardW,
+		JobTimeout:   *timeout,
+		MaxRounds:    *maxRounds,
+		Registry:     reg,
+	})
+
+	if *pprofAddr != "" {
+		ds, err := metrics.StartDebugServer(*pprofAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "dimaserve: pprof and /metrics at http://%s\n", ds.Addr())
+	}
+
+	ln, err := stdnet.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "dimaserve: listening on http://%s (queue %d, %d workers)\n",
+		ln.Addr(), *queue, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "dimaserve: %v: draining (budget %v)\n", s, *drain)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dimaserve: http shutdown: %v\n", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dimaserve: canceled in-flight jobs: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "dimaserve: drained")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dimaserve: %v\n", err)
+	os.Exit(1)
+}
+
+// usage reports a bad flag value and exits 2, the conventional status
+// for a usage error (runtime failures exit 1).
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "dimaserve: %v\n", err)
+	os.Exit(2)
+}

@@ -45,6 +45,28 @@ func main() {
 	)
 	flag.Parse()
 
+	// The constructive families (gen.Complete, gen.Grid, gen.Hypercube,
+	// ...) document panics on out-of-range sizes; the CLI boundary must
+	// catch hostile flag values first and exit 2 with a message.
+	if *n < 0 {
+		usage(fmt.Errorf("-n wants a non-negative vertex count, got %d", *n))
+	}
+	if *m < 0 {
+		usage(fmt.Errorf("-m wants a non-negative edge count, got %d", *m))
+	}
+	if *k < 0 {
+		usage(fmt.Errorf("-k wants a non-negative degree, got %d", *k))
+	}
+	if *rows < 0 || *cols < 0 {
+		usage(fmt.Errorf("-rows and -cols want non-negative sizes, got %d x %d", *rows, *cols))
+	}
+	if *dim < 0 || *dim > 30 {
+		usage(fmt.Errorf("-dim wants a hypercube dimension in [0, 30], got %d", *dim))
+	}
+	if *left < 0 || *right < 0 {
+		usage(fmt.Errorf("-left and -right want non-negative part sizes, got %d and %d", *left, *right))
+	}
+
 	r := rng.New(*seed)
 	var g *graph.Graph
 	var err error
@@ -93,8 +115,7 @@ func main() {
 	case "hypercube":
 		g = gen.Hypercube(*dim)
 	default:
-		fmt.Fprintf(os.Stderr, "graphgen: unknown family %q\n", *family)
-		os.Exit(2)
+		usage(fmt.Errorf("unknown family %q", *family))
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
@@ -116,4 +137,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "graphgen: %s n=%d m=%d Δ=%d\n", *family, g.N(), g.M(), g.MaxDegree())
+}
+
+// usage reports a bad flag value and exits 2, the conventional status
+// for a usage error (runtime failures exit 1).
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+	os.Exit(2)
 }

@@ -29,6 +29,7 @@
 package dima
 
 import (
+	"context"
 	"io"
 
 	"dima/internal/automaton"
@@ -102,10 +103,24 @@ func ColorEdges(g *Graph, opt Options) (*Result, error) {
 	return core.ColorEdges(g, opt)
 }
 
+// ColorEdgesCtx is ColorEdges bounded by ctx: canceling ctx abandons
+// the run at the next communication-round barrier and returns the
+// partial Result with Aborted set. Rounds executed before the
+// cancellation are byte-identical to an uncanceled run.
+func ColorEdgesCtx(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	return core.ColorEdgesCtx(ctx, g, opt)
+}
+
 // ColorStrong runs Algorithm 2 (DiMa2Ed) on d: a strong distance-2
 // directed edge coloring in O(Δ) expected computation rounds.
 func ColorStrong(d *Digraph, opt Options) (*Result, error) {
 	return core.ColorStrong(d, opt)
+}
+
+// ColorStrongCtx is ColorStrong bounded by ctx, with the same
+// cancellation contract as ColorEdgesCtx.
+func ColorStrongCtx(ctx context.Context, d *Digraph, opt Options) (*Result, error) {
+	return core.ColorStrongCtx(ctx, d, opt)
 }
 
 // RoundStats is one computation round of a run's telemetry stream (see

@@ -33,6 +33,7 @@ func TestExamples(t *testing.T) {
 		"asyncnet":    {"α-synchronizer effect", "palette trade"},
 		"datafusion":  {"total quality", "top fusion pairs"},
 		"telemetry":   {"per-round metrics written to", "ui.perfetto.dev", "colors"},
+		"serving":     {"coloring service listening", "job done", "canceled second job", "service drained"},
 	}
 	for name, wants := range cases {
 		name, wants := name, wants

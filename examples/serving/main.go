@@ -1,0 +1,121 @@
+// Serving: the dimaserve HTTP coloring service driven end to end from
+// a client's point of view — submit, poll, fetch, cancel, drain.
+//
+// The program embeds the service in-process (the same service.Server
+// the dimaserve binary wraps), binds a loopback port, and then talks to
+// it purely over HTTP, printing the curl equivalent of every call so
+// the walkthrough doubles as API documentation (docs/SERVING.md).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	stdnet "net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"dima/internal/metrics"
+	"dima/internal/service"
+)
+
+func main() {
+	// One worker makes the walkthrough deterministic: the big job we
+	// cancel below can never overtake the small one.
+	reg := metrics.NewRegistry()
+	svc := service.New(service.Config{Workers: 1, QueueSize: 8, Registry: reg})
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	httpSrv := &http.Server{Handler: svc}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("coloring service listening at %s\n\n", base)
+
+	// 1. Submit a generator-spec job: Algorithm 1 on an Erdős–Rényi
+	// instance built server-side.
+	spec := `{"gen":{"family":"er","n":500,"deg":8,"seed":3},"seed":7}`
+	fmt.Printf("$ curl -d '%s' -H 'Content-Type: application/json' %s/jobs\n", spec, base)
+	st := postJSON(base+"/jobs", spec)
+	fmt.Printf("  -> job %s %s (n=%v m=%v)\n\n", st["id"], st["state"], st["n"], st["m"])
+	id := st["id"].(string)
+
+	// 2. Poll until it finishes.
+	fmt.Printf("$ curl %s/jobs/%s\n", base, id)
+	for st["state"] != "done" {
+		time.Sleep(10 * time.Millisecond)
+		st = getJSON(base + "/jobs/" + id)
+	}
+	res := st["result"].(map[string]any)
+	fmt.Printf("  -> job done: %v colors in %v rounds, %v messages\n\n",
+		res["colors"], res["rounds"], res["messages"])
+
+	// 3. Fetch the coloring and the per-round telemetry.
+	full := getJSON(base + "/jobs/" + id + "/result")
+	colors := full["colors"].([]any)
+	fmt.Printf("$ curl %s/jobs/%s/result   # -> %d edge colors\n", base, id, len(colors))
+	stats := getText(base + "/jobs/" + id + "/stats")
+	fmt.Printf("$ curl %s/jobs/%s/stats    # -> %d JSONL round records\n\n",
+		base, id, len(strings.Split(strings.TrimSpace(stats), "\n")))
+
+	// 4. Submit a 300k-vertex job and cancel it: the engine aborts at
+	// its next round barrier and the partial coloring stays fetchable.
+	big := `{"gen":{"family":"er","n":300000,"deg":8,"seed":4},"seed":9}`
+	st = postJSON(base+"/jobs", big)
+	bigID := st["id"].(string)
+	fmt.Printf("$ curl -X POST %s/jobs/%s/cancel\n", base, bigID)
+	st = postJSON(base+"/jobs/"+bigID+"/cancel", "")
+	for st["state"] != "canceled" {
+		time.Sleep(10 * time.Millisecond)
+		st = getJSON(base + "/jobs/" + bigID)
+	}
+	fmt.Printf("  -> canceled second job %s\n\n", bigID)
+
+	// 5. Graceful shutdown: stop accepting, drain what's left.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	check(httpSrv.Shutdown(ctx))
+	check(svc.Shutdown(ctx))
+	fmt.Println("service drained")
+}
+
+func postJSON(url, body string) map[string]any {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	check(err)
+	return decode(resp)
+}
+
+func getJSON(url string) map[string]any {
+	resp, err := http.Get(url)
+	check(err)
+	return decode(resp)
+}
+
+func getText(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	check(err)
+	return string(b)
+}
+
+func decode(resp *http.Response) map[string]any {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		b, _ := io.ReadAll(resp.Body)
+		check(fmt.Errorf("HTTP %d: %s", resp.StatusCode, b))
+	}
+	var m map[string]any
+	check(json.NewDecoder(resp.Body).Decode(&m))
+	return m
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serving:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dima/internal/automaton"
@@ -27,6 +28,16 @@ const ecPhases = 3
 // edges can be assigned in the same round, which is the correctness core
 // of the paper's Proposition 2.
 func ColorEdges(g *graph.Graph, opt Options) (*Result, error) {
+	return ColorEdgesCtx(context.Background(), g, opt)
+}
+
+// ColorEdgesCtx is ColorEdges bounded by ctx: when ctx is canceled the
+// engine abandons the run at the next communication-round barrier and
+// the returned Result carries the partial coloring with Aborted set
+// (Terminated false, unassigned entries -1). Rounds executed before the
+// cancellation are byte-identical to an uncanceled run with the same
+// options, on every engine.
+func ColorEdgesCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	base := rng.New(opt.Seed)
 	nodes := make([]net.Node, g.N())
 	ecs := make([]*ecNode, g.N())
@@ -41,6 +52,7 @@ func ColorEdges(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	netRes, err := opt.engine()(g, nodes, net.Config{
 		MaxRounds: ecPhases * opt.maxCompRounds(),
+		Ctx:       ctx,
 		Fault:     opt.Fault,
 		Observe:   observe,
 		Workers:   opt.Workers,
@@ -57,6 +69,7 @@ func ColorEdges(g *graph.Graph, opt Options) (*Result, error) {
 		Deliveries: netRes.Deliveries,
 		Bytes:      netRes.Bytes,
 		Terminated: netRes.Terminated,
+		Aborted:    netRes.Aborted,
 	}
 	for i := range res.Colors {
 		res.Colors[i] = -1

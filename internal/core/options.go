@@ -131,6 +131,12 @@ type Result struct {
 	Messages, Deliveries, Bytes int64
 	// Terminated reports whether every node finished within the bound.
 	Terminated bool
+	// Aborted reports that the run's context (ColorEdgesCtx /
+	// ColorStrongCtx) was canceled before the nodes finished: the engine
+	// stopped at a round barrier and Colors holds the partial coloring
+	// reached by then (-1 entries uncolored). Mutually exclusive with
+	// Terminated.
+	Aborted bool
 	// DefensiveRejects counts responder-side validity rejections. The
 	// protocol invariants make these impossible under reliable delivery;
 	// a nonzero count under faults shows the defense working.

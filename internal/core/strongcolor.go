@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dima/internal/automaton"
@@ -31,6 +32,16 @@ const scPhases = 4
 // priority withdraws; endpoints finalize only if both kept. Setting
 // Options.UnsafeNoConfirm reverts to the paper's uncorrected behavior.
 func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
+	return ColorStrongCtx(context.Background(), d, opt)
+}
+
+// ColorStrongCtx is ColorStrong bounded by ctx: when ctx is canceled
+// the engine abandons the run at the next communication-round barrier
+// and the returned Result carries the partial coloring with Aborted set
+// (Terminated false, unassigned entries -1). Rounds executed before the
+// cancellation are byte-identical to an uncanceled run with the same
+// options, on every engine.
+func ColorStrongCtx(ctx context.Context, d *graph.Digraph, opt Options) (*Result, error) {
 	g := d.Under()
 	base := rng.New(opt.Seed)
 	nodes := make([]net.Node, g.N())
@@ -46,6 +57,7 @@ func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
 	}
 	netRes, err := opt.engine()(g, nodes, net.Config{
 		MaxRounds: scPhases * opt.maxCompRounds(),
+		Ctx:       ctx,
 		Fault:     opt.Fault,
 		Observe:   observe,
 		Workers:   opt.Workers,
@@ -61,6 +73,7 @@ func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
 		Deliveries: netRes.Deliveries,
 		Bytes:      netRes.Bytes,
 		Terminated: netRes.Terminated,
+		Aborted:    netRes.Aborted,
 	}
 	for i := range res.Colors {
 		res.Colors[i] = -1

@@ -19,6 +19,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -73,6 +74,14 @@ type Config struct {
 // runs grouped in spec order (deterministic for a given seed regardless
 // of worker count).
 func RunGrid(specs []Spec, cfg Config) ([]Run, error) {
+	return RunGridCtx(context.Background(), specs, cfg)
+}
+
+// RunGridCtx is RunGrid bounded by ctx: cancellation stops dispatching
+// new cells, aborts in-flight runs at their next round barrier, and
+// returns ctx's error. Completed cells are discarded — a sweep is only
+// meaningful whole.
+func RunGridCtx(ctx context.Context, specs []Spec, cfg Config) ([]Run, error) {
 	type job struct {
 		spec    int
 		rep     int
@@ -106,15 +115,23 @@ func RunGrid(specs []Spec, cfg Config) ([]Run, error) {
 			defer wg.Done()
 			for idx := range ch {
 				j := jobs[idx]
-				results[idx], errs[idx] = runOne(specs[j.spec], j.rep, j.runSeed, cfg.Options)
+				results[idx], errs[idx] = runOne(ctx, specs[j.spec], j.rep, j.runSeed, cfg.Options)
 			}
 		}()
 	}
+dispatch:
 	for idx := range jobs {
-		ch <- idx
+		select {
+		case ch <- idx:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -123,7 +140,7 @@ func RunGrid(specs []Spec, cfg Config) ([]Run, error) {
 	return results, nil
 }
 
-func runOne(spec Spec, rep int, seed uint64, opt core.Options) (Run, error) {
+func runOne(ctx context.Context, spec Spec, rep int, seed uint64, opt core.Options) (Run, error) {
 	gr := rng.New(seed)
 	g, err := spec.Make(gr)
 	if err != nil {
@@ -133,12 +150,15 @@ func runOne(spec Spec, rep int, seed uint64, opt core.Options) (Run, error) {
 	opt.CollectParticipation = true
 	var res *core.Result
 	if spec.Strong {
-		res, err = core.ColorStrong(graph.NewSymmetric(g), opt)
+		res, err = core.ColorStrongCtx(ctx, graph.NewSymmetric(g), opt)
 	} else {
-		res, err = core.ColorEdges(g, opt)
+		res, err = core.ColorEdgesCtx(ctx, g, opt)
 	}
 	if err != nil {
 		return Run{}, fmt.Errorf("experiment: %s rep %d: %v", spec.Group, rep, err)
+	}
+	if res.Aborted {
+		return Run{}, fmt.Errorf("experiment: %s rep %d: %w", spec.Group, rep, ctx.Err())
 	}
 	if !res.Terminated {
 		return Run{}, fmt.Errorf("experiment: %s rep %d: run truncated at %d rounds",

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -95,6 +96,13 @@ func (c FaultConfig) maxCompRounds() int {
 // on} × Reps — in parallel and returns the runs in deterministic order
 // (independent of worker count).
 func FaultSweep(cfg FaultConfig) ([]FaultRun, error) {
+	return FaultSweepCtx(context.Background(), cfg)
+}
+
+// FaultSweepCtx is FaultSweep bounded by ctx: cancellation stops
+// dispatching new cells, aborts in-flight runs at their next round
+// barrier, and returns ctx's error.
+func FaultSweepCtx(ctx context.Context, cfg FaultConfig) ([]FaultRun, error) {
 	if cfg.N <= 0 || cfg.Deg <= 0 || cfg.Reps <= 0 || len(cfg.Drops) == 0 {
 		return nil, fmt.Errorf("experiment: fault sweep config incomplete: %+v", cfg)
 	}
@@ -158,15 +166,23 @@ func FaultSweep(cfg FaultConfig) ([]FaultRun, error) {
 				if j.recovery {
 					opt.Recovery = automaton.Recovery{Enabled: true}
 				}
-				results[idx] = runFaultOne(g, j.alg, j.dropP, j.recovery, j.rep, opt, &errs[idx])
+				results[idx] = runFaultOne(ctx, g, j.alg, j.dropP, j.recovery, j.rep, opt, &errs[idx])
 			}
 		}()
 	}
+dispatch:
 	for idx := range jobs {
-		ch <- idx
+		select {
+		case ch <- idx:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -175,21 +191,24 @@ func FaultSweep(cfg FaultConfig) ([]FaultRun, error) {
 	return results, nil
 }
 
-func runFaultOne(g *graph.Graph, alg string, dropP float64, recovery bool, rep int, opt core.Options, errOut *error) FaultRun {
+func runFaultOne(ctx context.Context, g *graph.Graph, alg string, dropP float64, recovery bool, rep int, opt core.Options, errOut *error) FaultRun {
 	var res *core.Result
 	var violations []verify.Violation
 	var err error
 	if alg == "alg2" {
 		d := graph.NewSymmetric(g)
-		res, err = core.ColorStrong(d, opt)
-		if err == nil {
+		res, err = core.ColorStrongCtx(ctx, d, opt)
+		if err == nil && !res.Aborted {
 			violations = verify.StrongColoring(d, res.Colors)
 		}
 	} else {
-		res, err = core.ColorEdges(g, opt)
-		if err == nil {
+		res, err = core.ColorEdgesCtx(ctx, g, opt)
+		if err == nil && !res.Aborted {
 			violations = verify.EdgeColoring(g, res.Colors)
 		}
+	}
+	if err == nil && res.Aborted {
+		err = ctx.Err()
 	}
 	if err != nil {
 		*errOut = fmt.Errorf("experiment: fault sweep %s rep %d P=%g: %v", alg, rep, dropP, err)

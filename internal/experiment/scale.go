@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -106,6 +107,14 @@ type ScaleReport struct {
 // graph instance and run seed, so their colorings must be identical;
 // any divergence is an error, not a slow row.
 func ScaleSweep(cfg ScaleConfig, progress func(ScaleRow)) (*ScaleReport, error) {
+	return ScaleSweepCtx(context.Background(), cfg, progress)
+}
+
+// ScaleSweepCtx is ScaleSweep bounded by ctx: cancellation aborts the
+// in-flight cell at its next round barrier — essential on the
+// million-vertex rungs, where a single cell runs for minutes — and
+// returns ctx's error.
+func ScaleSweepCtx(ctx context.Context, cfg ScaleConfig, progress func(ScaleRow)) (*ScaleReport, error) {
 	if cfg.AvgDeg <= 0 {
 		return nil, fmt.Errorf("experiment: scale sweep needs a positive average degree, got %g", cfg.AvgDeg)
 	}
@@ -144,11 +153,14 @@ func ScaleSweep(cfg ScaleConfig, progress func(ScaleRow)) (*ScaleReport, error) 
 			var runErr error
 			start := time.Now()
 			alloc := metrics.MeasureAllocs(func() {
-				res, runErr = core.ColorEdges(g, opt)
+				res, runErr = core.ColorEdgesCtx(ctx, g, opt)
 			})
 			wall := time.Since(start)
 			if runErr != nil {
 				return nil, fmt.Errorf("experiment: scale %s n=%d: %v", name, n, runErr)
+			}
+			if res.Aborted {
+				return nil, fmt.Errorf("experiment: scale %s n=%d: %w", name, n, ctx.Err())
 			}
 			if !res.Terminated {
 				return nil, fmt.Errorf("experiment: scale %s n=%d: truncated at %d rounds", name, n, res.CompRounds)

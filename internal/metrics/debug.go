@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"io"
 	stdnet "net"
@@ -9,16 +10,25 @@ import (
 	"runtime"
 )
 
-// StartDebugServer serves live diagnostics on addr (host:port; a :0
-// port picks a free one) and returns the bound address:
+// DebugServer is a running diagnostics endpoint started by
+// StartDebugServer. It owns its listener and serving goroutine; callers
+// must Close (or Shutdown) it so tests and long-lived services do not
+// leak the port for the process lifetime.
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+	done chan struct{}
+}
+
+// DebugHandler returns the diagnostics mux the debug server serves:
 //
 //	/debug/pprof/   the standard net/http/pprof profile index
 //	/metrics        reg's instruments (when non-nil) plus Go runtime
 //	                stats, in the plain-text format of Registry.WriteText
 //
-// The listener runs until the process exits — it backs the CLIs' -pprof
-// flag, which is fire-and-forget by design.
-func StartDebugServer(addr string, reg *Registry) (string, error) {
+// Exposed so services that already run an HTTP server can mount the
+// same endpoints instead of binding a second port.
+func DebugHandler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -34,16 +44,49 @@ func StartDebugServer(addr string, reg *Registry) (string, error) {
 		}
 		writeRuntimeStats(w)
 	})
+	return mux
+}
+
+// StartDebugServer serves live diagnostics on addr (host:port; a :0
+// port picks a free one) and returns the running server; its Addr
+// method reports the bound address. The caller owns the returned
+// handle: Close stops it immediately, Shutdown drains it gracefully.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	ln, err := stdnet.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("metrics: debug server: %w", err)
+		return nil, fmt.Errorf("metrics: debug server: %w", err)
+	}
+	ds := &DebugServer{
+		srv:  &http.Server{Handler: DebugHandler(reg)},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
 	}
 	go func() {
-		// Serve returns only on listener failure; the process owns the
-		// listener for its remaining lifetime.
-		_ = http.Serve(ln, mux)
+		defer close(ds.done)
+		// Serve returns ErrServerClosed after Close/Shutdown; any other
+		// error means the listener died and there is nothing to free.
+		_ = ds.srv.Serve(ln)
 	}()
-	return ln.Addr().String(), nil
+	return ds, nil
+}
+
+// Addr returns the bound host:port.
+func (ds *DebugServer) Addr() string { return ds.addr }
+
+// Close stops the server and its listener immediately, dropping any
+// in-flight requests, and waits for the serving goroutine to exit.
+func (ds *DebugServer) Close() error {
+	err := ds.srv.Close()
+	<-ds.done
+	return err
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to complete, up to ctx's deadline.
+func (ds *DebugServer) Shutdown(ctx context.Context) error {
+	err := ds.srv.Shutdown(ctx)
+	<-ds.done
+	return err
 }
 
 // writeRuntimeStats appends the Go runtime gauges every profiling

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -212,10 +213,11 @@ func TestStateCountHookAndChain(t *testing.T) {
 func TestDebugServer(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("messages_total").Add(99)
-	addr, err := StartDebugServer("127.0.0.1:0", reg)
+	ds, err := StartDebugServer("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	addr := ds.Addr()
 	get := func(path string) string {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
@@ -239,5 +241,17 @@ func TestDebugServer(t *testing.T) {
 	}
 	if prof := get("/debug/pprof/cmdline"); prof == "" {
 		t.Fatal("pprof cmdline empty")
+	}
+	if err := ds.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("close: %v", err)
+	}
+	// The port must actually be released: a second server on the same
+	// address would collide if the first leaked its listener.
+	ds2, err := StartDebugServer(addr, nil)
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	if err := ds2.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
 	}
 }

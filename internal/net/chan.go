@@ -1,6 +1,8 @@
 package net
 
 import (
+	"context"
+
 	"dima/internal/graph"
 	"dima/internal/msg"
 )
@@ -50,6 +52,15 @@ func filterDrops(out []msg.Message, round, v int, f FaultInjector, buf *[]msg.Me
 // itself the round barrier. A small coordinator exchange decides global
 // termination between rounds.
 //
+// RunChanCtx is RunChan with an explicit context: the coordinator stops
+// the run at the next round barrier after ctx is canceled, releases
+// every node goroutine, and returns the partial Result with Aborted
+// set.
+func RunChanCtx(ctx context.Context, g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
+	cfg.Ctx = ctx
+	return RunChan(g, nodes, cfg)
+}
+
 // Results are identical to RunSync for deterministic nodes: inboxes are
 // sorted canonically before each Step, and nodes draw randomness only
 // from their own generators.
@@ -57,6 +68,7 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 	if err := validate(g, nodes); err != nil {
 		return Result{}, err
 	}
+	ctx := cfg.ctx()
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
@@ -65,6 +77,9 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 
 	if allDone(nodes) {
 		return Result{Terminated: true}, nil
+	}
+	if canceled(ctx) {
+		return Result{Aborted: true}, nil
 	}
 
 	// links[u][i]: channel carrying u's per-round batch to its i-th
@@ -206,6 +221,15 @@ func RunChan(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 		if done {
 			stopAll(true)
 			res.Terminated = true
+			break
+		}
+		// Cancellation point: the same barrier position as RunSync (after
+		// the done verdict, before committing to another round), so a
+		// canceled run carries the identical partial Result. stopAll
+		// releases every node goroutine, which is parked on ctrl here.
+		if canceled(ctx) {
+			stopAll(true)
+			res.Aborted = true
 			break
 		}
 		if round == maxRounds-1 {

@@ -20,6 +20,7 @@
 package net
 
 import (
+	"context"
 	"fmt"
 
 	"dima/internal/graph"
@@ -62,6 +63,13 @@ type Config struct {
 	// default of 1,000,000. If the bound is hit the run reports
 	// Terminated == false rather than failing.
 	MaxRounds int
+	// Ctx, when non-nil, allows abandoning the run: every engine checks
+	// it once per communication round, at the round barrier, and returns
+	// the partial Result accumulated so far with Aborted set. Nil means
+	// context.Background() (never canceled). The RunSyncCtx/RunChanCtx/
+	// RunShardCtx wrappers populate it; rounds executed before the
+	// cancellation are byte-identical to an uncanceled run.
+	Ctx context.Context
 	// Fault optionally drops deliveries. Nil means reliable delivery.
 	Fault FaultInjector
 	// Observe, when non-nil, receives one RoundTraffic per communication
@@ -115,11 +123,39 @@ type Result struct {
 	Bytes int64
 	// Terminated reports whether every node finished within MaxRounds.
 	Terminated bool
+	// Aborted reports that the run's context was canceled before the
+	// nodes finished: the run stopped at a round barrier and the other
+	// fields describe the rounds that completed. Terminated and Aborted
+	// are mutually exclusive; a run that finishes in the same round its
+	// context is canceled reports Terminated.
+	Aborted bool
 }
 
 // Engine runs a protocol over a topology; RunSync, RunChan, and
-// RunShard satisfy it.
+// RunShard satisfy it. Cancellation rides in Config.Ctx so that code
+// holding an Engine value needs no second signature.
 type Engine func(g *graph.Graph, nodes []Node, cfg Config) (Result, error)
+
+// ctx returns the run's context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
+// canceled reports whether the run should abort. All engines call it at
+// the same evaluation points — once before the first round and once per
+// completed round, after the all-done check — so canceled runs produce
+// identical partial Results on every engine.
+func canceled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
 
 func validate(g *graph.Graph, nodes []Node) error {
 	if len(nodes) != g.N() {
@@ -145,12 +181,21 @@ func allDone(nodes []Node) bool {
 	return true
 }
 
+// RunSyncCtx is RunSync with an explicit context: the run stops at the
+// next round barrier after ctx is canceled and returns the partial
+// Result with Aborted set.
+func RunSyncCtx(ctx context.Context, g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
+	cfg.Ctx = ctx
+	return RunSync(g, nodes, cfg)
+}
+
 // RunSync executes the protocol with a deterministic sequential
 // scheduler: one goroutine, vertices stepped in id order each round.
 func RunSync(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 	if err := validate(g, nodes); err != nil {
 		return Result{}, err
 	}
+	ctx := cfg.ctx()
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
@@ -164,6 +209,10 @@ func RunSync(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 	next := make([][]msg.Message, g.N())
 	if allDone(nodes) {
 		res.Terminated = true
+		return res, nil
+	}
+	if canceled(ctx) {
+		res.Aborted = true
 		return res, nil
 	}
 	for round := 0; round < maxRounds; round++ {
@@ -209,6 +258,10 @@ func RunSync(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 		res.Rounds = round + 1
 		if allDone(nodes) {
 			res.Terminated = true
+			return res, nil
+		}
+		if canceled(ctx) {
+			res.Aborted = true
 			return res, nil
 		}
 	}

@@ -1,6 +1,7 @@
 package net
 
 import (
+	"context"
 	"runtime"
 
 	"dima/internal/graph"
@@ -20,6 +21,15 @@ const (
 type shardDelivery struct {
 	to int
 	m  msg.Message
+}
+
+// RunShardCtx is RunShard with an explicit context: the coordinator
+// stops the run at the next round barrier after ctx is canceled,
+// releases every worker goroutine, and returns the partial Result with
+// Aborted set.
+func RunShardCtx(ctx context.Context, g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
+	cfg.Ctx = ctx
+	return RunShard(g, nodes, cfg)
 }
 
 // RunShard executes the protocol with cfg.Workers goroutines, each
@@ -58,12 +68,16 @@ func RunShard(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 	if err := validate(g, nodes); err != nil {
 		return Result{}, err
 	}
+	ctx := cfg.ctx()
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
 	}
 	if allDone(nodes) {
 		return Result{Terminated: true}, nil
+	}
+	if canceled(ctx) {
+		return Result{Aborted: true}, nil
 	}
 	n := g.N()
 	workers := cfg.Workers
@@ -217,6 +231,14 @@ func RunShard(g *graph.Graph, nodes []Node, cfg Config) (Result, error) {
 		res.Rounds = round + 1
 		if done {
 			res.Terminated = true
+			break
+		}
+		// Cancellation point: same barrier position as the other engines
+		// (after the done verdict, before the merge commits the next
+		// round). The cmdStop broadcast below releases the workers, which
+		// are parked on cmd here.
+		if canceled(ctx) {
+			res.Aborted = true
 			break
 		}
 		if round == maxRounds-1 {

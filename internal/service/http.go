@@ -1,0 +1,286 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dima/internal/metrics"
+)
+
+// The HTTP API (docs/SERVING.md has the full contract):
+//
+//	POST   /jobs              submit a job; 202 with its status,
+//	                          400 bad request, 429 queue full,
+//	                          503 shutting down
+//	GET    /jobs              list every job's status
+//	GET    /jobs/{id}         one job's status
+//	GET    /jobs/{id}/result  the coloring (done or canceled jobs)
+//	GET    /jobs/{id}/stats   per-round telemetry as JSON Lines
+//	POST   /jobs/{id}/cancel  request cancellation (also DELETE /jobs/{id})
+//	GET    /healthz           liveness, queue depth, configuration
+//
+// With Config.Registry set, /metrics and /debug/pprof/ are mounted too.
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/stats", s.handleStats)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.Registry != nil {
+		dh := metrics.DebugHandler(s.cfg.Registry)
+		mux.Handle("GET /metrics", dh)
+		mux.Handle("GET /debug/pprof/", dh)
+	}
+	return mux
+}
+
+// JobStatus is the wire form of one job.
+type JobStatus struct {
+	ID          string         `json:"id"`
+	State       State          `json:"state"`
+	Strong      bool           `json:"strong"`
+	N           int            `json:"n"`
+	M           int            `json:"m"`
+	Seed        uint64         `json:"seed"`
+	SubmittedAt time.Time      `json:"submittedAt"`
+	StartedAt   *time.Time     `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time     `json:"finishedAt,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	Result      *ResultSummary `json:"result,omitempty"`
+}
+
+// ResultSummary is the scalar outcome; the full coloring lives at the
+// result endpoint.
+type ResultSummary struct {
+	Colors     int   `json:"colors"`
+	MaxColor   int   `json:"maxColor"`
+	Rounds     int   `json:"rounds"`
+	CommRounds int   `json:"commRounds"`
+	Messages   int64 `json:"messages"`
+	Items      int   `json:"items"`
+	Colored    int   `json:"colored"`
+	Terminated bool  `json:"terminated"`
+	Aborted    bool  `json:"aborted"`
+}
+
+// status snapshots a job under its lock.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Strong:      j.req.Strong,
+		N:           j.req.Graph.N(),
+		M:           j.req.Graph.M(),
+		Seed:        j.req.Seed,
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.res != nil {
+		colored := 0
+		for _, c := range j.res.Colors {
+			if c >= 0 {
+				colored++
+			}
+		}
+		st.Result = &ResultSummary{
+			Colors:     j.res.NumColors,
+			MaxColor:   j.res.MaxColor,
+			Rounds:     j.res.CompRounds,
+			CommRounds: j.res.CommRounds,
+			Messages:   j.res.Messages,
+			Items:      len(j.res.Colors),
+			Colored:    colored,
+			Terminated: j.res.Terminated,
+			Aborted:    j.res.Aborted,
+		}
+	}
+	return st
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseSubmit(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// JobResult is the full coloring payload.
+type JobResult struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"` // "edge" or "arc"
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Colors []int  `json:"colors"` // by graph.EdgeID / graph.ArcID; -1 = uncolored
+	JobStatus
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	st := j.status()
+	if st.Result == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s: no result yet", st.ID, st.State))
+		return
+	}
+	kind := "edge"
+	if st.Strong {
+		kind = "arc"
+	}
+	// res.Colors is immutable once the job reaches a terminal state, so
+	// reading it outside the lock is safe.
+	writeJSON(w, http.StatusOK, JobResult{
+		ID: st.ID, Kind: kind, N: st.N, M: st.M,
+		Colors: j.res.Colors, JobStatus: st,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	j := s.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	// The engines deliver RoundStats when the run completes, so the
+	// stream exists only for terminal jobs; a running job has nothing
+	// to serve yet (docs/SERVING.md).
+	if !state.terminal() {
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s: stats arrive when it finishes", j.id, state))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	jw := metrics.NewJSONLWriter(w)
+	for _, rs := range j.stats.Rounds {
+		jw.EmitRound(rs)
+	}
+	if err := jw.Flush(); err != nil {
+		return // client went away mid-stream; nothing to repair
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.closed {
+		status = "draining"
+	}
+	depth := len(s.queue)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       status,
+		"queued":       depth,
+		"queueSize":    s.cfg.QueueSize,
+		"workers":      s.cfg.Workers,
+		"shardWorkers": s.defaultShardWorkers(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error(), "status": code})
+}
+
+// queryUint parses an optional unsigned query parameter.
+func queryUint(r *http.Request, name string, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	u, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query %s: want an unsigned integer, got %q", name, v)
+	}
+	return u, nil
+}
+
+// queryInt parses an optional non-negative integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("query %s: want a non-negative integer, got %q", name, v)
+	}
+	return n, nil
+}

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"mime"
+	"net/http"
+	"strings"
+
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/graphio"
+	"dima/internal/rng"
+)
+
+// Submissions come in two shapes, distinguished by Content-Type:
+//
+//   - application/json: a SubmitRequest document carrying either an
+//     inline "graph" edge list or a "gen" generator spec.
+//   - anything else (text/plain, application/octet-stream, a raw curl
+//     upload): the body IS the graph in the edge-list format (native or
+//     DIMACS), with seed / strong / maxRounds as query parameters.
+//
+// Every size and range is validated here so a hostile submission gets a
+// 400, mirroring the CLI boundary's exit-2 discipline: nothing a client
+// sends may reach a library panic.
+
+// SubmitRequest is the JSON submission document.
+type SubmitRequest struct {
+	// Graph is an inline edge list (native "n/e" or DIMACS "p edge"
+	// format). Exactly one of Graph and Gen must be set.
+	Graph string `json:"graph,omitempty"`
+	// Gen generates the instance server-side instead of uploading it.
+	Gen *GenSpec `json:"gen,omitempty"`
+	// Seed determines every random choice of the run.
+	Seed uint64 `json:"seed"`
+	// Strong selects Algorithm 2 (strong distance-2 coloring).
+	Strong bool `json:"strong"`
+	// MaxRounds caps computation rounds (0 = server default); the
+	// server's own MaxRounds cap still applies.
+	MaxRounds int `json:"maxRounds"`
+}
+
+// GenSpec names a graph family and its parameters, mirroring the
+// graphgen CLI. Unused parameters are ignored.
+type GenSpec struct {
+	Family string  `json:"family"`
+	N      int     `json:"n"`
+	Deg    float64 `json:"deg"`    // er: average degree
+	P      float64 `json:"p"`      // gnp, bipartite: edge probability
+	M      int     `json:"m"`      // gnm: edge count
+	K      int     `json:"k"`      // ba, ws, regular: degree parameter
+	Power  float64 `json:"power"`  // ba: attachment exponent
+	Beta   float64 `json:"beta"`   // ws: rewire probability
+	Rows   int     `json:"rows"`   // grid
+	Cols   int     `json:"cols"`   // grid
+	Dim    int     `json:"dim"`    // hypercube
+	Left   int     `json:"left"`   // bipartite
+	Right  int     `json:"right"`  // bipartite
+	Seed   uint64  `json:"seed"`   // generator seed (independent of the run seed)
+	Radius float64 `json:"radius"` // geometric
+}
+
+// parseSubmit turns an HTTP submission into a validated JobRequest.
+func (s *Server) parseSubmit(r *http.Request) (JobRequest, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	if ct == "application/json" {
+		var sub SubmitRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sub); err != nil {
+			return JobRequest{}, fmt.Errorf("parse submission: %v", err)
+		}
+		return buildRequest(sub)
+	}
+	// Raw upload: the body is the graph, parameters ride the query.
+	g, err := graphio.ReadGraph(body)
+	if err != nil {
+		return JobRequest{}, err
+	}
+	seed, err := queryUint(r, "seed", 1)
+	if err != nil {
+		return JobRequest{}, err
+	}
+	maxRounds, err := queryInt(r, "maxRounds", 0)
+	if err != nil {
+		return JobRequest{}, err
+	}
+	return JobRequest{
+		Graph:     g,
+		Strong:    r.URL.Query().Get("strong") == "true",
+		Seed:      seed,
+		MaxRounds: maxRounds,
+	}, nil
+}
+
+// buildRequest validates a SubmitRequest and materializes its graph.
+func buildRequest(sub SubmitRequest) (JobRequest, error) {
+	if (sub.Graph == "") == (sub.Gen == nil) {
+		return JobRequest{}, fmt.Errorf("submission wants exactly one of \"graph\" and \"gen\"")
+	}
+	if sub.MaxRounds < 0 {
+		return JobRequest{}, fmt.Errorf("maxRounds wants a non-negative cap, got %d", sub.MaxRounds)
+	}
+	var g *graph.Graph
+	var err error
+	if sub.Graph != "" {
+		g, err = graphio.ReadGraph(strings.NewReader(sub.Graph))
+	} else {
+		g, err = buildGraph(*sub.Gen)
+	}
+	if err != nil {
+		return JobRequest{}, err
+	}
+	return JobRequest{Graph: g, Strong: sub.Strong, Seed: sub.Seed, MaxRounds: sub.MaxRounds}, nil
+}
+
+// maxGenVertices bounds server-side generation: a spec is a few bytes,
+// so unlike an upload its cost is not limited by MaxBodyBytes.
+const maxGenVertices = 2_000_000
+
+// buildGraph mirrors graphgen's family switch with the same boundary
+// validation, returning errors instead of exiting.
+func buildGraph(spec GenSpec) (*graph.Graph, error) {
+	if spec.N < 0 || spec.N > maxGenVertices {
+		return nil, fmt.Errorf("gen: n wants [0, %d], got %d", maxGenVertices, spec.N)
+	}
+	if spec.M < 0 {
+		return nil, fmt.Errorf("gen: m wants a non-negative edge count, got %d", spec.M)
+	}
+	if spec.K < 0 {
+		return nil, fmt.Errorf("gen: k wants a non-negative degree, got %d", spec.K)
+	}
+	if spec.Rows < 0 || spec.Cols < 0 || spec.Rows*spec.Cols > maxGenVertices {
+		return nil, fmt.Errorf("gen: grid wants non-negative dims up to %d vertices, got %d x %d",
+			maxGenVertices, spec.Rows, spec.Cols)
+	}
+	if spec.Dim < 0 || spec.Dim > 20 {
+		return nil, fmt.Errorf("gen: hypercube dimension wants [0, 20], got %d", spec.Dim)
+	}
+	if spec.Left < 0 || spec.Right < 0 || spec.Left+spec.Right > maxGenVertices {
+		return nil, fmt.Errorf("gen: bipartite wants non-negative parts up to %d vertices, got %d and %d",
+			maxGenVertices, spec.Left, spec.Right)
+	}
+	r := rng.New(spec.Seed)
+	switch spec.Family {
+	case "er":
+		return gen.ErdosRenyiAvgDegree(r, spec.N, spec.Deg)
+	case "gnp":
+		return gen.ErdosRenyiGNP(r, spec.N, spec.P)
+	case "gnm":
+		return gen.ErdosRenyiGNM(r, spec.N, spec.M)
+	case "ba":
+		return gen.BarabasiAlbert(r, spec.N, spec.K, spec.Power)
+	case "ws":
+		return gen.WattsStrogatz(r, spec.N, spec.K, spec.Beta)
+	case "regular":
+		return gen.RandomRegular(r, spec.N, spec.K)
+	case "geometric":
+		return gen.RandomGeometric(r, spec.N, spec.Radius)
+	case "tree":
+		return gen.RandomTree(r, spec.N), nil
+	case "bipartite":
+		return gen.RandomBipartite(r, spec.Left, spec.Right, spec.P)
+	case "complete":
+		if spec.N > 3000 { // ~4.5M edges; keep the quadratic family sane
+			return nil, fmt.Errorf("gen: complete wants n <= 3000, got %d", spec.N)
+		}
+		return gen.Complete(spec.N), nil
+	case "cycle":
+		return gen.Cycle(spec.N), nil
+	case "path":
+		return gen.Path(spec.N), nil
+	case "star":
+		return gen.Star(spec.N), nil
+	case "grid":
+		return gen.Grid(spec.Rows, spec.Cols), nil
+	case "hypercube":
+		return gen.Hypercube(spec.Dim), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown family %q", spec.Family)
+	}
+}

@@ -1,0 +1,360 @@
+// Package service implements dimaserve: an HTTP coloring service over
+// the shard engine. Clients submit a graph (an uploaded edge list or a
+// generator spec), the job enters a bounded queue drained by a worker
+// pool, and the run can be watched, fetched, and canceled over HTTP.
+//
+// The queue applies backpressure: a submit that finds it full is
+// rejected immediately with 429 rather than parked, so a burst degrades
+// into explicit retries instead of unbounded memory. Cancellation rides
+// the engines' context support (net.Config.Ctx): a canceled job stops
+// at its next round barrier and frees its worker; its partial coloring
+// remains fetchable. See docs/SERVING.md for the API.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dima/internal/core"
+	"dima/internal/graph"
+	"dima/internal/metrics"
+	"dima/internal/net"
+)
+
+// Config configures a Server. The zero value is usable: one worker, a
+// 16-deep queue, no per-job deadline, shard workers at GOMAXPROCS.
+type Config struct {
+	// QueueSize bounds the number of jobs waiting for a worker; a submit
+	// beyond it is rejected with 429. 0 means 16.
+	QueueSize int
+	// Workers is the number of jobs colored concurrently. 0 means 1.
+	Workers int
+	// ShardWorkers is the shard engine's worker count per job
+	// (net.Config.Workers); 0 means GOMAXPROCS.
+	ShardWorkers int
+	// JobTimeout bounds each run's wall clock; past it the run aborts at
+	// its next round barrier and the job finishes canceled. 0 = no bound.
+	JobTimeout time.Duration
+	// MaxRounds caps a job's computation rounds; a request may ask for
+	// fewer but not more. 0 means the core default (100,000).
+	MaxRounds int
+	// MaxBodyBytes bounds an upload's size. 0 means 32 MiB.
+	MaxBodyBytes int64
+	// Registry, when non-nil, receives the service counters and gauges
+	// and is additionally served at /metrics (with /debug/pprof/) on the
+	// service mux. Nil keeps the instruments internal and unexposed.
+	Registry *metrics.Registry
+	// Runner executes one job; nil means the shard engine via
+	// core.ColorEdgesCtx / core.ColorStrongCtx. Tests inject
+	// deterministic runners here.
+	Runner Runner
+}
+
+// Runner executes one coloring job. The sink receives the run's
+// per-round stats (delivered when the run completes); implementations
+// must honor ctx by returning a Result with Aborted set.
+type Runner func(ctx context.Context, req JobRequest, sink metrics.Sink) (*core.Result, error)
+
+// JobRequest is a parsed, validated submission.
+type JobRequest struct {
+	// Graph is the instance to color.
+	Graph *graph.Graph
+	// Strong selects Algorithm 2 (strong distance-2 coloring of the
+	// symmetric digraph) instead of Algorithm 1 (edge coloring).
+	Strong bool
+	// Seed determines every random choice of the run.
+	Seed uint64
+	// MaxRounds caps computation rounds (0 = server default).
+	MaxRounds int
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// job is one submission's full record. mu guards every mutable field;
+// stats is written only by the job's worker while running and read by
+// handlers only in a terminal state, so it needs no lock of its own.
+type job struct {
+	id  string
+	req JobRequest
+
+	mu        sync.Mutex
+	state     State
+	cancel    context.CancelFunc // set while running
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	res       *core.Result
+	errMsg    string
+	stats     *metrics.Memory
+}
+
+// Server is the coloring service. It implements http.Handler; create
+// one with New and stop it with Shutdown (drain) or Close (abort).
+type Server struct {
+	cfg    Config
+	runner Runner
+	mux    *http.ServeMux
+
+	baseCtx    context.Context // canceled by Close / Shutdown deadline
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	nextID int
+	closed bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	// Instruments (registered on cfg.Registry when present).
+	submitted, rejected, done, failed, canceled *metrics.Counter
+	queued, running                             *metrics.Gauge
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:       cfg,
+		runner:    cfg.Runner,
+		jobs:      map[string]*job{},
+		queue:     make(chan *job, cfg.QueueSize),
+		submitted: reg.Counter("serve_jobs_submitted_total"),
+		rejected:  reg.Counter("serve_jobs_rejected_total"),
+		done:      reg.Counter("serve_jobs_done_total"),
+		failed:    reg.Counter("serve_jobs_failed_total"),
+		canceled:  reg.Counter("serve_jobs_canceled_total"),
+		queued:    reg.Gauge("serve_jobs_queued"),
+		running:   reg.Gauge("serve_jobs_running"),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if s.runner == nil {
+		s.runner = shardRunner(cfg.ShardWorkers)
+	}
+	s.mux = s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// shardRunner is the production runner: the shard engine under the
+// job's context, per docs/PERFORMANCE.md the fastest at every size.
+func shardRunner(workers int) Runner {
+	return func(ctx context.Context, req JobRequest, sink metrics.Sink) (*core.Result, error) {
+		opt := core.Options{
+			Seed:          req.Seed,
+			Engine:        net.RunShard,
+			Workers:       workers,
+			MaxCompRounds: req.MaxRounds,
+			Metrics:       sink,
+		}
+		if req.Strong {
+			return core.ColorStrongCtx(ctx, graph.NewSymmetric(req.Graph), opt)
+		}
+		return core.ColorEdgesCtx(ctx, req.Graph, opt)
+	}
+}
+
+// ServeHTTP dispatches to the service routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// submit enqueues a validated request, returning the new job or an
+// ErrQueueFull / ErrClosed sentinel for the handler to map to a status.
+func (s *Server) submit(req JobRequest) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.nextID+1),
+		req:       req,
+		state:     StateQueued,
+		submitted: time.Now(),
+		stats:     &metrics.Memory{},
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.submitted.Inc()
+	s.queued.Add(1)
+	return j, nil
+}
+
+// ErrQueueFull and ErrClosed are submit's rejection reasons.
+var (
+	ErrQueueFull = fmt.Errorf("service: job queue full")
+	ErrClosed    = fmt.Errorf("service: server is shutting down")
+)
+
+// get looks a job up by id.
+func (s *Server) get(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// worker drains the queue until it is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: claim it (unless canceled while
+// queued), run under a cancelable context, record the outcome.
+func (s *Server) runJob(j *job) {
+	s.queued.Add(-1)
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting
+		j.mu.Unlock()
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.started = time.Now()
+	sink := j.stats
+	req := j.req
+	if s.cfg.MaxRounds > 0 && (req.MaxRounds <= 0 || req.MaxRounds > s.cfg.MaxRounds) {
+		req.MaxRounds = s.cfg.MaxRounds
+	}
+	j.mu.Unlock()
+	s.running.Add(1)
+
+	res, err := s.runner(ctx, req, sink)
+	cancel()
+
+	s.running.Add(-1)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.failed.Inc()
+	case res.Aborted:
+		// The engine stopped at a round barrier; the partial coloring
+		// stays fetchable from the result endpoint.
+		j.state = StateCanceled
+		j.res = res
+		s.canceled.Inc()
+	default:
+		j.state = StateDone
+		j.res = res
+		s.done.Inc()
+	}
+}
+
+// cancelJob requests cancellation: a queued job finishes immediately, a
+// running one aborts at its next round barrier (best effort — a run
+// that completes in the same round finishes done). It reports the
+// state observed after the request.
+func (s *Server) cancelJob(j *job) State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		// The worker that eventually pops it sees the state and skips.
+		j.state = StateCanceled
+		j.finished = time.Now()
+		s.canceled.Inc()
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.state
+}
+
+// Shutdown stops accepting submissions and waits for the queue and all
+// running jobs to drain. If ctx expires first, every remaining run is
+// canceled (aborting at its round barrier) and Shutdown returns ctx's
+// error once the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// Close aborts every queued and running job and waits for the workers
+// to exit. Equivalent to Shutdown with an already-expired context.
+func (s *Server) Close() {
+	s.baseCancel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// defaultShardWorkers resolves the effective shard worker count, for
+// reporting in /healthz.
+func (s *Server) defaultShardWorkers() int {
+	if s.cfg.ShardWorkers > 0 {
+		return s.cfg.ShardWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}

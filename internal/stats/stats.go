@@ -90,10 +90,13 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 1) of an ascending
-// sorted slice using linear interpolation. It panics on empty input.
+// sorted slice using linear interpolation. An empty sample has no
+// percentiles: it yields NaN rather than panicking, so a sweep whose
+// repetitions all aborted summarizes to NaN columns instead of crashing
+// mid-report.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		panic("stats: percentile of empty sample")
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

@@ -78,13 +78,14 @@ func TestPercentileInterpolation(t *testing.T) {
 	}
 }
 
-func TestPercentilePanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+func TestPercentileEmptyIsNaN(t *testing.T) {
+	// An empty sample has no percentiles; a sweep whose repetitions all
+	// aborted must summarize to NaN columns instead of crashing.
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := Percentile(nil, p); !math.IsNaN(got) {
+			t.Fatalf("Percentile(nil, %g) = %v, want NaN", p, got)
 		}
-	}()
-	Percentile(nil, 0.5)
+	}
 }
 
 func TestLinearFitExact(t *testing.T) {

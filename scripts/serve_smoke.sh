@@ -1,0 +1,85 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the dimaserve binary over
+# plain HTTP (curl), as CI runs it: start the server, submit a small
+# job and poll it to completion, cancel a second (large) job, then shut
+# the server down gracefully and check it drains. Uses only POSIX sh,
+# curl, grep, and sed so it runs anywhere the Go toolchain does.
+set -eu
+
+ADDR="${DIMASERVE_ADDR:-127.0.0.1:18217}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/dimaserve"
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+say() { echo "serve-smoke: $*"; }
+die() { say "FAIL: $*"; exit 1; }
+
+# Pull "field": "value" / "field": 123 out of the pretty-printed JSON.
+jfield() { sed -n "s/^ *\"$2\": \"\{0,1\}\([^\",]*\)\"\{0,1\},\{0,1\}\$/\1/p" "$1" | head -1; }
+
+go build -o "$BIN" ./cmd/dimaserve
+"$BIN" -addr "$ADDR" -workers 1 -queue 8 &
+SERVER_PID=$!
+
+say "waiting for $BASE/healthz"
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && die "server did not come up"
+    sleep 0.2
+done
+
+# 1. Submit a small generator-spec job and poll it to completion.
+OUT="$(mktemp)"
+curl -sf -H 'Content-Type: application/json' \
+    -d '{"gen":{"family":"er","n":400,"deg":8,"seed":3},"seed":7}' \
+    "$BASE/jobs" >"$OUT" || die "submit rejected"
+JOB="$(jfield "$OUT" id)"
+[ -n "$JOB" ] || die "submit returned no job id: $(cat "$OUT")"
+say "submitted $JOB"
+
+i=0
+while :; do
+    curl -sf "$BASE/jobs/$JOB" >"$OUT"
+    STATE="$(jfield "$OUT" state)"
+    [ "$STATE" = done ] && break
+    [ "$STATE" = failed ] && die "job failed: $(cat "$OUT")"
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "job stuck in $STATE"
+    sleep 0.2
+done
+say "$JOB done ($(jfield "$OUT" colors) colors in $(jfield "$OUT" rounds) rounds)"
+curl -sf "$BASE/jobs/$JOB/result" >/dev/null || die "result not fetchable"
+curl -sf "$BASE/jobs/$JOB/stats" | grep -q '"round"' || die "stats stream empty"
+
+# 2. Submit a large job and cancel it mid-run: it must finish canceled,
+# not done, and its partial result must stay fetchable.
+curl -sf -H 'Content-Type: application/json' \
+    -d '{"gen":{"family":"er","n":300000,"deg":8,"seed":4},"seed":9}' \
+    "$BASE/jobs" >"$OUT" || die "second submit rejected"
+JOB2="$(jfield "$OUT" id)"
+say "submitted $JOB2 (large), canceling"
+curl -sf -X POST "$BASE/jobs/$JOB2/cancel" >/dev/null || die "cancel rejected"
+i=0
+while :; do
+    curl -sf "$BASE/jobs/$JOB2" >"$OUT"
+    STATE="$(jfield "$OUT" state)"
+    [ "$STATE" = canceled ] && break
+    [ "$STATE" = done ] || [ "$STATE" = failed ] && die "canceled job ended $STATE"
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "cancel stuck in $STATE"
+    sleep 0.2
+done
+say "$JOB2 canceled"
+curl -sf "$BASE/jobs/$JOB2/result" >/dev/null || die "partial result not fetchable"
+
+# 3. Graceful shutdown: SIGTERM, then the process must exit by itself.
+kill -TERM "$SERVER_PID"
+i=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "server did not drain after SIGTERM"
+    sleep 0.2
+done
+trap - EXIT
+say "PASS"
