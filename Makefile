@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench check serve-smoke
+.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke
 
 all: build
 
@@ -35,5 +35,11 @@ bench:
 # done, cancel a large job mid-run, drain on SIGTERM (docs/SERVING.md).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end smoke of dynamic recoloring over the wire: stream 100
+# mutation batches through POST /jobs/{id}/mutate and assert every
+# post-batch coloring re-verifies valid (docs/DYNAMIC.md).
+dynamic-smoke:
+	sh scripts/dynamic_smoke.sh
 
 check: build vet fmt-check test race

@@ -222,3 +222,118 @@ func TestDimacolorRepsMode(t *testing.T) {
 		t.Fatal("-reps with -json accepted")
 	}
 }
+
+func TestDimacolorMutate(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	mpath := filepath.Join(dir, "edits.txt")
+	cpath := filepath.Join(dir, "c.json")
+	if _, _, err := run(t, "graphgen", "-family", "path", "-n", "6", "-o", gpath); err != nil {
+		t.Fatal(err)
+	}
+	// Close the path into a cycle and delete one interior edge.
+	if err := os.WriteFile(mpath, []byte("# edits\n+ 5 0\n- 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, err := run(t, "dimacolor", "-in", gpath, "-seed", "3", "-mutate", mpath, "-json", cpath)
+	if err != nil {
+		t.Fatalf("dimacolor -mutate: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "mutate: ") || !strings.Contains(stdout, "+1 -1") {
+		t.Fatalf("mutate report missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "mutated: m=5") {
+		t.Fatalf("mutated summary missing:\n%s", stdout)
+	}
+	// The JSON carries the compacted mutated state: still 5 edges, and
+	// it verifies against the mutated graph.
+	g2 := filepath.Join(dir, "g2.graph")
+	if err := os.WriteFile(g2, []byte("n 6\ne 0 1\ne 1 2\ne 3 4\ne 4 5\ne 5 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"m": 5`) {
+		t.Fatalf("coloring json: %s", data)
+	}
+	// A delete of a missing edge rejects the whole batch atomically.
+	if err := os.WriteFile(mpath, []byte("- 0 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, err := run(t, "dimacolor", "-in", gpath, "-seed", "3", "-mutate", mpath); err == nil {
+		t.Fatal("delete of missing edge accepted")
+	} else if !strings.Contains(stderr, "deletes missing edge") {
+		t.Fatalf("stderr: %s", stderr)
+	}
+	// -mutate composes only with plain Algorithm 1 runs.
+	if _, _, err := run(t, "dimacolor", "-in", gpath, "-strong", "-mutate", mpath); err == nil {
+		t.Fatal("-mutate with -strong accepted")
+	}
+}
+
+func TestDimaverifyStrongFlag(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	cpath := filepath.Join(dir, "c.json")
+	// Star: every edge shares the center, so any proper edge coloring is
+	// automatically strong.
+	if _, _, err := run(t, "graphgen", "-family", "star", "-n", "7", "-o", gpath); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := run(t, "dimacolor", "-in", gpath, "-json", cpath); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err := run(t, "dimaverify", "-graph", gpath, "-coloring", cpath, "-strong")
+	if err != nil || !strings.Contains(stdout, "valid strong edge coloring") {
+		t.Fatalf("star -strong: %v\n%s", err, stdout)
+	}
+	// A long path's proper 2-coloring reuses colors at distance 1, so
+	// the strong check must reject what the plain check accepts.
+	if _, _, err := run(t, "graphgen", "-family", "path", "-n", "8", "-o", gpath); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := run(t, "dimacolor", "-in", gpath, "-json", cpath); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := run(t, "dimaverify", "-graph", gpath, "-coloring", cpath); err != nil {
+		t.Fatal("plain check rejected a proper coloring")
+	}
+	stdout, _, err = run(t, "dimaverify", "-graph", gpath, "-coloring", cpath, "-strong")
+	if err == nil {
+		t.Fatalf("strong check accepted a distance-1 reuse:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "distance2") {
+		t.Fatalf("no distance2 violation:\n%s", stdout)
+	}
+	// Arc colorings get the lower-bound report.
+	if _, _, err := run(t, "dimacolor", "-in", gpath, "-strong", "-json", cpath); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err = run(t, "dimaverify", "-graph", gpath, "-coloring", cpath, "-strong")
+	if err != nil || !strings.Contains(stdout, "strong lower bound") {
+		t.Fatalf("arc -strong: %v\n%s", err, stdout)
+	}
+}
+
+func TestDimabenchDynamicQuick(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	stdout, stderr, err := run(t, "dimabench", "-exp", "dynamic", "-scale", "0.002", "-bench-out", out)
+	if err != nil {
+		t.Fatalf("dimabench -exp dynamic: %v\n%s", err, stderr)
+	}
+	for _, want := range []string{"== dynamic", "speedup", "deterministic=true"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("missing %q in:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"deterministic": true`) {
+		t.Fatalf("report: %s", data)
+	}
+}

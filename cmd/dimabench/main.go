@@ -73,7 +73,7 @@ func figures() []figure {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, or all")
+		exp      = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, dynamic, or all")
 		scale    = flag.Float64("scale", 1.0, "fraction of the paper's 50 repetitions per cell (for -exp scale: graph-size multiplier)")
 		seed     = flag.Uint64("seed", 2012, "master seed")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); for -exp scale: shard engine worker count")
@@ -298,6 +298,12 @@ func main() {
 		anyRan = true
 		runScale(*seed, *scale, *workers, *engSel, *benchOut)
 	}
+	// The dynamic sweep is explicit-only for the same reason: each batch
+	// costs a full recolor of the 10⁵-vertex instance for comparison.
+	if selected["dynamic"] {
+		anyRan = true
+		runDynamic(*seed, *scale, *workers, *benchOut)
+	}
 	if runAll || selected["faults"] {
 		anyRan = true
 		start := time.Now()
@@ -316,7 +322,7 @@ func main() {
 		fmt.Println()
 	}
 	if !anyRan {
-		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, or all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, dynamic, or all)", *exp))
 	}
 }
 
@@ -362,6 +368,57 @@ func runScale(seed uint64, scale float64, workers int, engineList, benchOut stri
 			fatal(err)
 		}
 		if err := experiment.WriteScaleReport(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", benchOut)
+	}
+	fmt.Println()
+}
+
+// runDynamic executes the dynamic recoloring benchmark (docs/DYNAMIC.md):
+// cold-color one instance, stream mutation batches of each size through
+// the incremental recolorer, and race every batch against a full recolor
+// of the same mutated graph. Every post-batch coloring is verified and
+// the streams are replayed to confirm determinism (-bench-out
+// BENCH_PR5.json is the committed baseline).
+func runDynamic(seed uint64, scale float64, workers int, benchOut string) {
+	cfg := experiment.DefaultDynamicConfig(seed, scale)
+	cfg.Workers = workers
+	fmt.Println("== dynamic — incremental repair vs full recolor: wall-clock per mutation batch")
+	fmt.Printf("   er n=%d avg-deg=%g, batch sizes %v × %d batches, tight palette\n\n",
+		cfg.N, cfg.AvgDeg, cfg.BatchSizes, cfg.BatchesPerSize)
+	t := stats.NewTable("batch", "ins", "del", "greedy", "repaired", "rounds",
+		"maxRegion", "incAvgMS", "fullAvgMS", "speedup", "colors")
+	start := time.Now()
+	rep, err := experiment.DynamicSweep(cfg, func(row experiment.DynamicRow) {
+		fmt.Fprintf(os.Stderr, "dimabench: dynamic batch=%d done (inc %.2fms vs full %.0fms per batch)\n",
+			row.BatchSize, row.IncAvgMS, row.FullAvgMS)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rep.Rows {
+		t.AddRow(row.BatchSize, row.Inserted, row.Deleted, row.Greedy, row.RepairedEdges,
+			row.RepairRounds, fmt.Sprintf("%dv/%de", row.MaxRegionSize, row.MaxRegionEdges),
+			fmt.Sprintf("%.2f", row.IncAvgMS), fmt.Sprintf("%.1f", row.FullAvgMS),
+			fmt.Sprintf("%.0fx", row.Speedup), row.IncColors)
+	}
+	fmt.Println(t.String())
+	fmt.Printf("cold run: %d colors in %.0fms (n=%d m=%d Δ=%d); %d rows in %v; deterministic=%v\n",
+		rep.ColdColors, rep.ColdWallMS, rep.N, rep.M, rep.Delta,
+		len(rep.Rows), time.Since(start).Round(time.Millisecond), rep.Deterministic)
+	if !rep.Deterministic {
+		fatal(fmt.Errorf("dynamic sweep: replay diverged from the timed run"))
+	}
+	if benchOut != "" {
+		f, err := os.Create(benchOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiment.WriteDynamicReport(f, rep); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -6,6 +6,7 @@
 //	graphgen -family er -n 200 -deg 8 | dimacolor -seed 7
 //	dimacolor -in er.graph -strong -engine chan -json out.json
 //	dimacolor -in small.graph -trace
+//	dimacolor -in er.graph -mutate edits.txt -json mutated.json
 //
 // By default it runs Algorithm 1 (edge coloring); -strong runs
 // Algorithm 2 (DiMa2Ed strong distance-2 coloring) on the symmetric
@@ -21,6 +22,7 @@ import (
 	"dima/internal/automaton"
 	"dima/internal/baseline"
 	"dima/internal/core"
+	"dima/internal/dynamic"
 	"dima/internal/graph"
 	"dima/internal/graphio"
 	"dima/internal/metrics"
@@ -47,6 +49,7 @@ func main() {
 		noVerify = flag.Bool("no-verify", false, "skip the validity check")
 		dropP    = flag.Float64("drop", 0, "drop each message delivery with this probability (0 = reliable)")
 		recover  = flag.Bool("recover", false, "enable the loss-recovery layer (docs/ROBUSTNESS.md)")
+		mutate   = flag.String("mutate", "", "after the run, apply this text mutation list (+ u v / - u v) and repair the coloring incrementally (docs/DYNAMIC.md)")
 
 		metricsOut = flag.String("metrics-out", "", "write per-round telemetry as JSON Lines to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace (Perfetto-compatible) of the automaton timelines to this file")
@@ -101,6 +104,9 @@ func main() {
 	}
 	if *dropP < 0 || *dropP >= 1 {
 		usage(fmt.Errorf("-drop wants a probability in [0, 1), got %g", *dropP))
+	}
+	if *mutate != "" && (*strong || *algo != "dima" || *reps > 1) {
+		usage(fmt.Errorf("-mutate requires -algo dima without -strong or -reps"))
 	}
 
 	g, err := readGraph(*in)
@@ -251,6 +257,47 @@ func main() {
 			*dropP, *recover, res.HalfColored, res.Retransmits, res.Repairs, res.Reverts, res.Probes)
 	}
 
+	// -mutate: stream the text mutation list through the dynamic
+	// recolorer and repair incrementally instead of recoloring. The run's
+	// own graph and coloring stay intact; the mutated state takes over
+	// the -json output (compacted, so the file has no removal holes).
+	var mrec *dynamic.Recolorer
+	if *mutate != "" {
+		if !res.Terminated {
+			fatal(fmt.Errorf("-mutate needs a complete coloring; run truncated at %d rounds", res.CompRounds))
+		}
+		mf, err := os.Open(*mutate)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := graphio.ReadMutations(mf)
+		mf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		mrec, err = dynamic.New(g.Clone(), append([]int(nil), res.Colors...), dynamic.Options{
+			Seed:   *seed,
+			Repair: core.Options{Engine: opt.Engine, Workers: opt.Workers},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		mrep, err := mrec.Apply(b)
+		if err != nil {
+			fatal(err)
+		}
+		if !*noVerify {
+			if v := verify.EdgeColoring(mrec.Graph(), mrec.Colors()); len(v) != 0 {
+				fatal(fmt.Errorf("mutated coloring failed verification: %v", v[0]))
+			}
+		}
+		fmt.Printf("mutate: %s: +%d -%d, greedy=%d repaired=%d repairRounds=%d region=%dv/%de\n",
+			*mutate, mrep.Inserted, mrep.Deleted, mrep.GreedyColored,
+			mrep.RepairedEdges, mrep.RepairRounds, mrep.RegionSize, mrep.RegionEdges)
+		fmt.Printf("mutated: m=%d colors=%d maxColor=%d\n",
+			mrec.Graph().M(), mrec.NumColors(), mrec.MaxColor())
+	}
+
 	if *showTr {
 		fmt.Println("\nautomaton timelines:")
 		fmt.Print(rec.Timeline())
@@ -285,12 +332,17 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
+		outG, outColors, numColors := g, res.Colors, res.NumColors
+		if mrec != nil {
+			cg, cc := mrec.Compacted()
+			outG, outColors, numColors = cg, cc, mrec.NumColors()
+		}
 		c := &graphio.Coloring{
-			Kind: kind, N: g.N(), M: g.M(), Colors: res.Colors,
+			Kind: kind, N: outG.N(), M: outG.M(), Colors: outColors,
 			Meta: map[string]string{
 				"seed":   strconv.FormatUint(*seed, 10),
 				"rounds": strconv.Itoa(res.CompRounds),
-				"colors": strconv.Itoa(res.NumColors),
+				"colors": strconv.Itoa(numColors),
 			},
 		}
 		if err := graphio.WriteColoring(f, c); err != nil {

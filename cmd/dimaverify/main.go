@@ -2,9 +2,17 @@
 // against its graph and reports every violation. It exits 0 when the
 // coloring is valid and complete, 1 otherwise.
 //
+// -strong checks the distance-2 predicate: for an arc coloring this is
+// the default check (Algorithm 2's guarantee) plus the Δ-based lower
+// bound on the channel count; for an edge coloring it demands that even
+// edges meeting at distance one carry distinct colors — a stronger
+// property than Algorithm 1 promises, so violations then mean "not
+// strong", not "broken".
+//
 // Usage:
 //
 //	dimaverify -graph er.graph -coloring out.json
+//	dimaverify -graph er.graph -coloring out.json -strong
 package main
 
 import (
@@ -21,6 +29,7 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "graph file (edge-list format)")
 		colorPath = flag.String("coloring", "", "coloring file (JSON)")
+		strong    = flag.Bool("strong", false, "check the distance-2 (strong) predicate instead of the kind's default")
 	)
 	flag.Parse()
 	if *graphPath == "" || *colorPath == "" {
@@ -54,16 +63,30 @@ func main() {
 	}
 
 	var violations []verify.Violation
+	var d *graph.Digraph
+	label := c.Kind
 	switch c.Kind {
 	case "edge":
-		violations = verify.EdgeColoring(g, c.Colors)
+		if *strong {
+			violations = verify.StrongEdgeColoring(g, c.Colors)
+			label = "strong edge"
+		} else {
+			violations = verify.EdgeColoring(g, c.Colors)
+		}
 	case "arc":
-		violations = verify.StrongColoring(graph.NewSymmetric(g), c.Colors)
+		// Arc colorings are strong by contract; -strong only adds the
+		// lower-bound report below.
+		d = graph.NewSymmetric(g)
+		violations = verify.StrongColoring(d, c.Colors)
 	}
 	if len(violations) == 0 {
 		distinct, maxc := verify.CountColors(c.Colors)
 		fmt.Printf("valid %s coloring: %d colors (max index %d), Δ=%d\n",
-			c.Kind, distinct, maxc, g.MaxDegree())
+			label, distinct, maxc, g.MaxDegree())
+		if *strong && d != nil {
+			lb := verify.StrongLowerBound(d)
+			fmt.Printf("strong lower bound: >= %d channels (coloring uses %d)\n", lb, distinct)
+		}
 		return
 	}
 	for _, v := range violations {

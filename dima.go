@@ -35,6 +35,7 @@ import (
 	"dima/internal/automaton"
 	"dima/internal/baseline"
 	"dima/internal/core"
+	"dima/internal/dynamic"
 	"dima/internal/gen"
 	"dima/internal/graph"
 	"dima/internal/matching"
@@ -123,6 +124,63 @@ func ColorStrongCtx(ctx context.Context, d *Digraph, opt Options) (*Result, erro
 	return core.ColorStrongCtx(ctx, d, opt)
 }
 
+// Recolorer maintains a valid edge coloring of a mutating graph: it
+// applies batches of edge insertions and deletions, repairing only the
+// affected region with the matching automaton instead of recoloring
+// everything (docs/DYNAMIC.md).
+type Recolorer = dynamic.Recolorer
+
+// RecolorOptions configures a Recolorer; the zero value uses the
+// automatic 2Δ−1 palette cap and the sequential engine for repairs.
+type RecolorOptions = dynamic.Options
+
+// RecolorReport describes the repair work one batch needed.
+type RecolorReport = dynamic.Report
+
+// Mutation is one edge insertion or deletion; MutationBatch groups
+// mutations applied atomically (msg.AppendBatch/DecodeBatch is the wire
+// codec, "+ u v"/"- u v" text lists the CLI format).
+type (
+	Mutation      = msg.Mutation
+	MutationBatch = msg.MutationBatch
+)
+
+// Mutation operations.
+const (
+	OpInsert = msg.OpInsert
+	OpDelete = msg.OpDelete
+)
+
+// NewRecolorer wraps a graph and its valid complete coloring (as
+// produced by ColorEdges) for incremental maintenance. Both are owned
+// by the Recolorer afterwards; pass copies to keep the originals.
+func NewRecolorer(g *Graph, colors []int, opt RecolorOptions) (*Recolorer, error) {
+	return dynamic.New(g, colors, opt)
+}
+
+// Recolor is the one-shot form: it wraps g and colors, applies the
+// batch, and returns the Recolorer (holding the mutated graph and
+// repaired coloring) with the batch's report. Keep applying batches to
+// the returned Recolorer for a mutation stream.
+func Recolor(g *Graph, colors []int, b *MutationBatch, opt RecolorOptions) (*Recolorer, *RecolorReport, error) {
+	return RecolorCtx(context.Background(), g, colors, b, opt)
+}
+
+// RecolorCtx is Recolor bounded by ctx. Cancellation interrupts only
+// the automaton repair: the batch still completes through the greedy
+// fallback, with RecolorReport.Aborted set.
+func RecolorCtx(ctx context.Context, g *Graph, colors []int, b *MutationBatch, opt RecolorOptions) (*Recolorer, *RecolorReport, error) {
+	rc, err := dynamic.New(g, colors, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := rc.ApplyCtx(ctx, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rc, rep, nil
+}
+
 // RoundStats is one computation round of a run's telemetry stream (see
 // Options.Metrics and docs/OBSERVABILITY.md).
 type RoundStats = metrics.RoundStats
@@ -204,6 +262,12 @@ func VerifyEdgeColoring(g *Graph, colors []int) []Violation {
 // VerifyStrongColoring checks a strong directed distance-2 coloring.
 func VerifyStrongColoring(d *Digraph, colors []int) []Violation {
 	return verify.StrongColoring(d, colors)
+}
+
+// VerifyStrongEdgeColoring checks the undirected distance-2 predicate:
+// edges sharing an endpoint or joined by an edge must differ in color.
+func VerifyStrongEdgeColoring(g *Graph, colors []int) []Violation {
+	return verify.StrongEdgeColoring(g, colors)
 }
 
 // ErdosRenyi generates a G(n, p) graph with p set for the given expected

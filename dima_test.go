@@ -227,3 +227,55 @@ func TestFacadeCustomProtocol(t *testing.T) {
 		t.Fatalf("pairing count %d (want positive and even)", total)
 	}
 }
+
+func TestFacadeRecolor(t *testing.T) {
+	r := NewRand(9)
+	g, err := ErdosRenyi(r, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ColorEdges(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a fresh pair and a live edge to mutate.
+	var iu, iv int
+	for iu, iv = 0, 1; g.HasEdge(iu, iv); iv++ {
+	}
+	e := g.EdgeAt(0)
+	b := &MutationBatch{Seq: 1, Muts: []Mutation{
+		{Op: OpInsert, U: iu, V: iv},
+		{Op: OpDelete, U: e.U, V: e.V},
+	}}
+	rc, rep, err := Recolor(g.Clone(), append([]int(nil), res.Colors...), b, RecolorOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inserted != 1 || rep.Deleted != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if v := VerifyEdgeColoring(rc.Graph(), rc.Colors()); len(v) != 0 {
+		t.Fatalf("mutated coloring invalid: %v", v[0])
+	}
+	// The recolorer stays usable for further batches.
+	if _, err := rc.Apply(&MutationBatch{Seq: 2, Muts: []Mutation{
+		{Op: OpInsert, U: e.U, V: e.V},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if v := VerifyEdgeColoring(rc.Graph(), rc.Colors()); len(v) != 0 {
+		t.Fatalf("second batch invalid: %v", v[0])
+	}
+}
+
+func TestFacadeVerifyStrongEdgeColoring(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if v := VerifyStrongEdgeColoring(g, []int{0, 0}); len(v) == 0 {
+		t.Fatal("adjacent reuse accepted as strong")
+	}
+	if v := VerifyStrongEdgeColoring(g, []int{0, 1}); len(v) != 0 {
+		t.Fatalf("strong coloring rejected: %v", v)
+	}
+}

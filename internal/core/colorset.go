@@ -63,6 +63,19 @@ func (s *ColorSet) Max() int {
 	return -1
 }
 
+// AddSet inserts every color of t into s. Nil t is a no-op.
+func (s *ColorSet) AddSet(t *ColorSet) {
+	if t == nil {
+		return
+	}
+	for len(s.words) < len(t.words) {
+		s.words = append(s.words, 0)
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
 // Clone returns an independent copy of s.
 func (s *ColorSet) Clone() *ColorSet {
 	return &ColorSet{words: append([]uint64(nil), s.words...)}

@@ -38,11 +38,26 @@ func ColorEdges(g *graph.Graph, opt Options) (*Result, error) {
 // cancellation are byte-identical to an uncanceled run with the same
 // options, on every engine.
 func ColorEdgesCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
+	return colorEdges(ctx, g, nil, opt)
+}
+
+// colorEdges is the shared engine behind ColorEdgesCtx and
+// ColorEdgesConstrained. forbidden, when non-nil, holds one color set
+// per vertex (entries may be nil) that the vertex must treat as already
+// used by itself; nil forbidden reproduces ColorEdgesCtx byte for byte.
+func colorEdges(ctx context.Context, g *graph.Graph, forbidden []*ColorSet, opt Options) (*Result, error) {
+	if g.EdgeIDBound() != g.M() {
+		return nil, fmt.Errorf("core: graph has removal holes (%d ids, %d edges); compact before coloring",
+			g.EdgeIDBound(), g.M())
+	}
 	base := rng.New(opt.Seed)
 	nodes := make([]net.Node, g.N())
 	ecs := make([]*ecNode, g.N())
 	for u := 0; u < g.N(); u++ {
 		ecs[u] = newECNode(g, u, base.Derive(uint64(u)), &opt)
+		if forbidden != nil {
+			ecs[u].seedForbidden(forbidden)
+		}
 		nodes[u] = ecs[u]
 	}
 	var traffic []net.RoundTraffic
@@ -135,6 +150,7 @@ type ecNode struct {
 	usedSelf  ColorSet             // colors on own colored edges (live complement)
 	usedNbr   []*ColorSet          // usedNbr[i]: colors used by Neighbors(u)[i] (the dead list)
 	nbrIndex  map[int]int          // neighbor vertex -> index in Neighbors(u)
+	forbid    *ColorSet            // externally forbidden colors (ColorEdgesConstrained), folded into usedSelf
 
 	// Current invitation, valid while the machine is in I/W.
 	inviteEdge  graph.EdgeID
@@ -196,6 +212,21 @@ func newECNode(g *graph.Graph, u int, r *rng.Rand, opt *Options) *ecNode {
 		}
 	}
 	return n
+}
+
+// seedForbidden folds externally forbidden colors (per vertex) into the
+// node's live and dead lists before the run starts: forbidden[u] acts as
+// colors already on u's own edges, and each neighbor's forbidden set as
+// colors already broadcast by that neighbor. The set is kept on the node
+// so recovery's rebuildUsedSelf cannot drop it.
+func (n *ecNode) seedForbidden(forbidden []*ColorSet) {
+	if f := forbidden[n.id]; f != nil && len(f.words) > 0 {
+		n.forbid = f.Clone()
+		n.usedSelf.AddSet(n.forbid)
+	}
+	for i, v := range n.g.Neighbors(n.id) {
+		n.usedNbr[i].AddSet(forbidden[v])
+	}
 }
 
 func (n *ecNode) ID() int { return n.id }
@@ -595,6 +626,7 @@ func (n *ecNode) revert(e graph.EdgeID, c int) {
 // simpler than reference counting.
 func (n *ecNode) rebuildUsedSelf() {
 	n.usedSelf = ColorSet{}
+	n.usedSelf.AddSet(n.forbid)
 	for _, c := range n.colors {
 		n.usedSelf.Add(c)
 	}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"dima/internal/graph"
+)
+
+// ColorEdgesConstrained runs Algorithm 1 on g under per-vertex external
+// color constraints: forbidden[u] (nil allowed) holds colors that vertex
+// u must not place on any of its edges. The automaton behaves exactly as
+// if those colors were already assigned to edges of u before round one —
+// they are folded into u's live list and into the dead lists u's
+// neighbors keep for u, which models the one-hop exchange broadcasts
+// that would have announced them.
+//
+// This is the repair primitive of the dynamic recoloring subsystem
+// (internal/dynamic): g is a sub-network view containing only the
+// uncolored frontier, and forbidden carries the colors of the
+// surrounding intact coloring. A nil forbidden slice makes the run
+// byte-identical to ColorEdgesCtx with the same options.
+func ColorEdgesConstrained(ctx context.Context, g *graph.Graph, forbidden []*ColorSet, opt Options) (*Result, error) {
+	if forbidden != nil && len(forbidden) != g.N() {
+		return nil, fmt.Errorf("core: %d forbidden sets for %d vertices", len(forbidden), g.N())
+	}
+	return colorEdges(ctx, g, forbidden, opt)
+}

@@ -1,0 +1,383 @@
+// Package dynamic maintains a valid edge coloring of a mutating graph:
+// it takes a graph plus a coloring produced by any engine and applies
+// batches of edge insertions and deletions, repairing only the affected
+// region instead of recoloring all m edges.
+//
+// The locality comes straight from the paper's model: the matching
+// automaton colors edges using one-hop information only, so a broken
+// patch of the coloring can be re-negotiated by the patch's endpoints
+// alone, with the surrounding intact coloring entering as per-vertex
+// forbidden color sets (core.ColorEdgesConstrained). Deletions never
+// break validity — the freed color simply returns to the palette.
+// Insertions are repaired in two tiers:
+//
+//  1. Greedy fast path: if some color under the palette cap is free at
+//     both endpoints, take the lowest such color. With the default cap
+//     of 2Δ−1 this always succeeds (each endpoint blocks at most Δ−1
+//     colors), so single insertions are O(Δ).
+//  2. Automaton repair: under a tighter caller-chosen cap (Options.
+//     Palette) the fast path can fail; failed edges form the uncolored
+//     frontier, and the matching automaton re-runs on a sub-network
+//     view containing only the frontier edges, constrained by the
+//     colors already present around it.
+//
+// The palette-growth caveat: when insertions raise Δ, the default cap
+// 2Δ−1 grows with it, and repairs may introduce colors the original
+// run never used. A fixed Options.Palette keeps the palette bounded at
+// the cost of longer repairs — and must be at least 2Δ−1 for the worst
+// incremental case to stay feasible (docs/DYNAMIC.md).
+package dynamic
+
+import (
+	"context"
+	"fmt"
+
+	"dima/internal/core"
+	"dima/internal/graph"
+	"dima/internal/msg"
+	"dima/internal/rng"
+)
+
+// Options configures a Recolorer. The zero value is valid: seed 0,
+// automatic palette cap (2Δ−1 under the current Δ), sequential engine
+// for repairs.
+type Options struct {
+	// Seed determines every random choice; per-batch repair seeds are
+	// derived from it and the batch index, so a fixed seed plus a fixed
+	// mutation stream reproduces the exact coloring sequence.
+	Seed uint64
+	// Palette, when > 0, caps the colors the greedy fast path may use;
+	// insertions that cannot be colored under the cap go to the
+	// automaton repair instead. 0 means 2Δ−1 under the graph's current
+	// maximum degree, which makes the fast path always succeed.
+	Palette int
+	// Repair configures the constrained automaton runs (engine, workers,
+	// recovery, faults, color rule...). Seed, MaxCompRounds and Metrics
+	// are per-run concerns managed by the Recolorer: Seed is derived as
+	// described above, and MaxCompRounds falls back to a region-sized
+	// bound when unset.
+	Repair core.Options
+	// Strict makes New verify the initial coloring and reject invalid
+	// ones; cold-run results are already verified by their engines, so
+	// this is off by default.
+	Strict bool
+}
+
+// Report describes the work one Apply call did.
+type Report struct {
+	// Inserted and Deleted count applied mutations.
+	Inserted, Deleted int
+	// GreedyColored counts insertions colored by the fast path.
+	GreedyColored int
+	// RepairedEdges counts frontier edges colored by the constrained
+	// automaton run (plus FallbackEdges if it left any behind).
+	RepairedEdges int
+	// RepairRounds is the number of computation rounds the automaton
+	// repair took (0 when no repair ran).
+	RepairRounds int
+	// RegionSize is the number of vertices in the sub-network view the
+	// repair ran on (0 when no repair ran).
+	RegionSize int
+	// RegionEdges is the number of frontier edges handed to the repair.
+	RegionEdges int
+	// FallbackEdges counts edges the automaton run left uncolored
+	// (round bound hit or canceled context) that the guaranteed 2Δ−1
+	// greedy completion colored instead.
+	FallbackEdges int
+	// Aborted reports that the context was canceled during the repair;
+	// the coloring is still complete and valid (the fallback finished
+	// the frontier), but locality/palette quality may have degraded.
+	Aborted bool
+	// NumColors and MaxColor describe the palette after the batch.
+	NumColors, MaxColor int
+}
+
+// Recolorer owns a graph and its coloring and keeps the coloring valid
+// across mutation batches. Not safe for concurrent use.
+type Recolorer struct {
+	g      *graph.Graph
+	colors []int // indexed by graph.EdgeID; -1 at removal holes
+	count  map[int]int
+	opt    Options
+	batch  uint64 // batches applied; salts per-batch repair seeds
+}
+
+// New wraps g and colors (indexed by graph.EdgeID, so len(colors) ==
+// g.EdgeIDBound()) in a Recolorer. Both are owned by the Recolorer
+// afterwards: callers must not mutate them, and callers that need the
+// originals intact should pass g.Clone() and a copy of the slice.
+func New(g *graph.Graph, colors []int, opt Options) (*Recolorer, error) {
+	if len(colors) != g.EdgeIDBound() {
+		return nil, fmt.Errorf("dynamic: %d colors for %d edge ids", len(colors), g.EdgeIDBound())
+	}
+	rc := &Recolorer{
+		g:      g,
+		colors: colors,
+		count:  make(map[int]int),
+		opt:    opt,
+	}
+	for id, c := range colors {
+		if !g.Live(graph.EdgeID(id)) {
+			continue
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("dynamic: edge %v uncolored", g.EdgeAt(graph.EdgeID(id)))
+		}
+		rc.count[c]++
+	}
+	if opt.Strict {
+		if err := rc.check(); err != nil {
+			return nil, err
+		}
+	}
+	return rc, nil
+}
+
+// check verifies the coloring is proper; used by Strict and tests.
+func (rc *Recolorer) check() error {
+	for u := 0; u < rc.g.N(); u++ {
+		var seen core.ColorSet
+		for _, e := range rc.g.IncidentEdges(u) {
+			c := rc.colors[e]
+			if c < 0 {
+				return fmt.Errorf("dynamic: edge %v uncolored", rc.g.EdgeAt(e))
+			}
+			if seen.Has(c) {
+				return fmt.Errorf("dynamic: color %d repeated at vertex %d", c, u)
+			}
+			seen.Add(c)
+		}
+	}
+	return nil
+}
+
+// Graph returns the graph being maintained. Callers must not mutate it.
+func (rc *Recolorer) Graph() *graph.Graph { return rc.g }
+
+// Colors returns the maintained coloring, indexed by graph.EdgeID with
+// -1 at removal holes. Callers must not mutate it.
+func (rc *Recolorer) Colors() []int { return rc.colors }
+
+// NumColors returns the number of distinct colors currently in use.
+func (rc *Recolorer) NumColors() int { return len(rc.count) }
+
+// MaxColor returns the largest color currently in use, or -1.
+func (rc *Recolorer) MaxColor() int {
+	m := -1
+	for c := range rc.count {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Compacted returns an independent dense copy of the current state:
+// a graph without removal holes and its coloring re-indexed to match.
+// The Recolorer itself keeps running on the holey ids, so compaction is
+// a snapshot for export, not a state change.
+func (rc *Recolorer) Compacted() (*graph.Graph, []int) {
+	cg, ids := rc.g.Compacted()
+	colors := make([]int, len(ids))
+	for newID, oldID := range ids {
+		colors[newID] = rc.colors[oldID]
+	}
+	return cg, colors
+}
+
+// Apply applies one mutation batch atomically and repairs the coloring.
+// The batch is validated first (syntax via MutationBatch.Validate,
+// applicability — insert-of-existing, delete-of-missing — against the
+// current graph plus the batch's own earlier mutations); a rejected
+// batch changes nothing. After a successful Apply every live edge is
+// colored and the coloring is proper.
+func (rc *Recolorer) Apply(b *msg.MutationBatch) (*Report, error) {
+	return rc.ApplyCtx(context.Background(), b)
+}
+
+// ApplyCtx is Apply bounded by ctx. Cancellation interrupts only the
+// automaton repair phase; the batch still completes (mutations are
+// already applied by then) through the greedy fallback, with
+// Report.Aborted set.
+func (rc *Recolorer) ApplyCtx(ctx context.Context, b *msg.MutationBatch) (*Report, error) {
+	if err := b.Validate(rc.g.N()); err != nil {
+		return nil, fmt.Errorf("dynamic: batch %d: %v", b.Seq, err)
+	}
+	// Applicability check against the pre-batch graph: Validate already
+	// rejected duplicate pairs, so each mutation sees the graph
+	// unchanged at its own edge.
+	for i, m := range b.Muts {
+		exists := rc.g.HasEdge(m.U, m.V)
+		if m.Op == msg.OpInsert && exists {
+			return nil, fmt.Errorf("dynamic: batch %d: mutation %d inserts existing edge (%d,%d)", b.Seq, i, m.U, m.V)
+		}
+		if m.Op == msg.OpDelete && !exists {
+			return nil, fmt.Errorf("dynamic: batch %d: mutation %d deletes missing edge (%d,%d)", b.Seq, i, m.U, m.V)
+		}
+	}
+
+	rep := &Report{}
+	var inserted []graph.EdgeID
+	for _, m := range b.Muts {
+		switch m.Op {
+		case msg.OpDelete:
+			id, err := rc.g.RemoveEdge(m.U, m.V)
+			if err != nil {
+				panic(fmt.Sprintf("dynamic: validated delete failed: %v", err)) // unreachable
+			}
+			rc.dropColor(rc.colors[id])
+			rc.colors[id] = -1
+			rep.Deleted++
+		case msg.OpInsert:
+			id, err := rc.g.AddEdge(m.U, m.V)
+			if err != nil {
+				panic(fmt.Sprintf("dynamic: validated insert failed: %v", err)) // unreachable
+			}
+			for len(rc.colors) < rc.g.EdgeIDBound() {
+				rc.colors = append(rc.colors, -1)
+			}
+			rc.colors[id] = -1
+			inserted = append(inserted, id)
+			rep.Inserted++
+		}
+	}
+
+	// Greedy fast path over the insertions, in order. The cap is fixed
+	// for the whole batch so earlier greedy picks cannot starve later
+	// ones into a cap that shifted mid-batch.
+	palCap := rc.paletteCap()
+	var frontier []graph.EdgeID
+	for _, id := range inserted {
+		e := rc.g.EdgeAt(id)
+		if c := core.LowestFree(rc.usedAt(e.U), rc.usedAt(e.V)); c < palCap {
+			rc.setColor(id, c)
+			rep.GreedyColored++
+		} else {
+			frontier = append(frontier, id)
+		}
+	}
+	if len(frontier) > 0 {
+		if err := rc.repairFrontier(ctx, frontier, rep); err != nil {
+			return nil, err
+		}
+	}
+	rc.batch++
+	rep.NumColors = rc.NumColors()
+	rep.MaxColor = rc.MaxColor()
+	return rep, nil
+}
+
+// paletteCap returns the active cap for the greedy fast path.
+func (rc *Recolorer) paletteCap() int {
+	if rc.opt.Palette > 0 {
+		return rc.opt.Palette
+	}
+	if d := rc.g.MaxDegree(); d > 0 {
+		return 2*d - 1
+	}
+	return 1
+}
+
+// usedAt collects the colors on u's colored incident edges.
+func (rc *Recolorer) usedAt(u int) *core.ColorSet {
+	s := &core.ColorSet{}
+	for _, e := range rc.g.IncidentEdges(u) {
+		if c := rc.colors[e]; c >= 0 {
+			s.Add(c)
+		}
+	}
+	return s
+}
+
+func (rc *Recolorer) setColor(id graph.EdgeID, c int) {
+	rc.colors[id] = c
+	rc.count[c]++
+}
+
+func (rc *Recolorer) dropColor(c int) {
+	if c < 0 {
+		return
+	}
+	rc.count[c]--
+	if rc.count[c] == 0 {
+		delete(rc.count, c)
+	}
+}
+
+// repairFrontier runs the matching automaton on the sub-network view
+// spanned by the uncolored frontier: vertices are the frontier edges'
+// endpoints, edges are the frontier edges only, and every color already
+// present on a region vertex's other edges — whether the neighbor is in
+// the region or not — enters as a forbidden color. That constraint set
+// is exactly the one-hop knowledge the vertex would have accumulated
+// from its neighbors' exchange broadcasts, so the automaton behaves as
+// if it were resuming the original run with the rest of the coloring
+// frozen.
+func (rc *Recolorer) repairFrontier(ctx context.Context, frontier []graph.EdgeID, rep *Report) error {
+	// Dense vertex ids for the region, in frontier order.
+	toSub := make(map[int]int)
+	var toFull []int
+	subID := func(u int) int {
+		if s, ok := toSub[u]; ok {
+			return s
+		}
+		s := len(toFull)
+		toSub[u] = s
+		toFull = append(toFull, u)
+		return s
+	}
+	for _, id := range frontier {
+		e := rc.g.EdgeAt(id)
+		subID(e.U)
+		subID(e.V)
+	}
+	sub := graph.New(len(toFull))
+	subEdge := make([]graph.EdgeID, len(frontier)) // sub edge id -> full edge id
+	for i, id := range frontier {
+		e := rc.g.EdgeAt(id)
+		sid := sub.MustAddEdge(toSub[e.U], toSub[e.V])
+		subEdge[sid] = frontier[i]
+	}
+	forbidden := make([]*core.ColorSet, len(toFull))
+	for s, u := range toFull {
+		forbidden[s] = rc.usedAt(u)
+	}
+
+	opt := rc.opt.Repair
+	opt.Seed = rng.Mix64(rc.opt.Seed ^ rng.Mix64(rc.batch+1))
+	opt.Metrics = nil
+	if opt.MaxCompRounds <= 0 {
+		// O(Δ_sub + palette headroom) rounds cover the automaton's
+		// expected convergence on the region; the fallback below makes
+		// running out safe, so the bound can stay tight.
+		opt.MaxCompRounds = 8 * (sub.MaxDegree() + 4)
+	}
+	res, err := core.ColorEdgesConstrained(ctx, sub, forbidden, opt)
+	if err != nil {
+		return fmt.Errorf("dynamic: frontier repair: %v", err)
+	}
+	rep.RegionSize = sub.N()
+	rep.RegionEdges = sub.M()
+	rep.RepairRounds = res.CompRounds
+	rep.Aborted = res.Aborted
+	for sid, c := range res.Colors {
+		if c >= 0 {
+			rc.setColor(subEdge[sid], c)
+			rep.RepairedEdges++
+		}
+	}
+	// Guaranteed completion: any edge the bounded (or canceled) run left
+	// uncolored gets the lowest color free at both endpoints, which
+	// exists below 2Δ−1 whatever the cap was. Validity is never traded
+	// away — only the palette bound degrades.
+	for sid, c := range res.Colors {
+		if c < 0 {
+			id := subEdge[sid]
+			e := rc.g.EdgeAt(id)
+			rc.setColor(id, core.LowestFree(rc.usedAt(e.U), rc.usedAt(e.V)))
+			rep.RepairedEdges++
+			rep.FallbackEdges++
+		}
+	}
+	return nil
+}

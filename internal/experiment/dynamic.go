@@ -1,0 +1,358 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dima/internal/core"
+	"dima/internal/dynamic"
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/msg"
+	"dima/internal/net"
+	"dima/internal/rng"
+	"dima/internal/verify"
+)
+
+// The dynamic sweep is the recoloring subsystem's benchmark: one cold
+// Algorithm 1 run on an Erdős–Rényi instance, then streams of mutation
+// batches applied two ways — incrementally (dynamic.Recolorer, repairing
+// only the affected region) and from scratch (a full shard-engine run on
+// the mutated graph). The headline number is the per-batch speedup: the
+// incremental path must beat the cold rerun by a wide margin for batches
+// far smaller than m, because its cost scales with the repair region.
+// Every post-batch coloring is verified valid, and the whole incremental
+// sequence is replayed to confirm determinism for the fixed seed. The
+// JSON report is the committed baseline BENCH_PR5.json (protocol in
+// docs/DYNAMIC.md).
+
+// DynamicConfig configures DynamicSweep. DefaultDynamicConfig fills the
+// baseline protocol.
+type DynamicConfig struct {
+	// Seed determines the instance, the cold run, the mutation streams,
+	// and the repair runs.
+	Seed uint64
+	// N is the instance's vertex count.
+	N int
+	// AvgDeg is the Erdős–Rényi average degree.
+	AvgDeg float64
+	// BatchSizes are the mutation-batch sizes compared, one row each.
+	BatchSizes []int
+	// BatchesPerSize is how many batches stream per row; incremental and
+	// full-recolor timings are averaged over them.
+	BatchesPerSize int
+	// Workers is the shard engine's worker count for the cold run, the
+	// full recolors, and the automaton repairs (0 = GOMAXPROCS).
+	Workers int
+	// TightPalette caps the recolorer's greedy palette at the average
+	// degree — far under the cold palette — so the insertions whose
+	// endpoints jointly block every capped color fail the fast path and
+	// exercise the automaton repair. Off, the default 2Δ−1 cap makes
+	// every insertion greedy and the sweep never measures a repair.
+	TightPalette bool
+	// VerifyCap bounds the per-batch full validity verification (and the
+	// full recolors'); above it colorings are not verified. 0 verifies
+	// everything — the baseline protocol, since verification is cheap
+	// next to a cold run.
+	VerifyCap int
+}
+
+// DefaultDynamicConfig returns the baseline protocol: a 10⁵-vertex
+// instance (multiplied by scale, floor 200), batch sizes {1, 10, 100},
+// three batches per size, tight palette, everything verified.
+func DefaultDynamicConfig(seed uint64, scale float64) DynamicConfig {
+	n := int(100_000 * scale)
+	if n < 200 {
+		n = 200
+	}
+	return DynamicConfig{
+		Seed:           seed,
+		N:              n,
+		AvgDeg:         8,
+		BatchSizes:     []int{1, 10, 100},
+		BatchesPerSize: 3,
+		TightPalette:   true,
+	}
+}
+
+// DynamicRow is one batch-size arm of the sweep. Counters are totals
+// over the arm's batches; wall-clock fields carry both the total and the
+// per-batch average the speedup is computed from.
+type DynamicRow struct {
+	BatchSize int `json:"batchSize"`
+	Batches   int `json:"batches"`
+	Inserted  int `json:"inserted"`
+	Deleted   int `json:"deleted"`
+	// Repair breakdown: insertions colored by the greedy fast path vs
+	// the constrained automaton, the rounds those repairs took, and the
+	// largest repair region (vertices / frontier edges) any batch built.
+	Greedy         int `json:"greedy"`
+	RepairedEdges  int `json:"repairedEdges"`
+	RepairRounds   int `json:"repairRounds"`
+	FallbackEdges  int `json:"fallbackEdges,omitempty"`
+	MaxRegionSize  int `json:"maxRegionSize"`
+	MaxRegionEdges int `json:"maxRegionEdges"`
+	// Post-arm state.
+	M           int `json:"m"`
+	IncColors   int `json:"incColors"`
+	IncMaxColor int `json:"incMaxColor"`
+	FullColors  int `json:"fullColors"`
+	// Timings: incremental Apply vs a full shard-engine recolor of the
+	// same mutated graph, per batch.
+	IncWallMS  float64 `json:"incWallMS"`
+	IncAvgMS   float64 `json:"incAvgMS"`
+	FullWallMS float64 `json:"fullWallMS"`
+	FullAvgMS  float64 `json:"fullAvgMS"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// DynamicReport is the sweep's persistable outcome.
+type DynamicReport struct {
+	Seed       uint64  `json:"seed"`
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	Delta      int     `json:"delta"`
+	AvgDeg     float64 `json:"avgDeg"`
+	Workers    int     `json:"workers,omitempty"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"numCPU"`
+	GoVersion  string  `json:"goVersion"`
+	// Palette is the recolorer's greedy cap (the average degree under
+	// TightPalette, 0 for the automatic 2Δ−1 cap).
+	Palette int `json:"palette"`
+	// Cold run: the starting coloring every arm mutates away from.
+	ColdColors int     `json:"coldColors"`
+	ColdWallMS float64 `json:"coldWallMS"`
+	// Deterministic reports that replaying every arm's mutation stream
+	// from the cold coloring reproduced the identical color sequence.
+	Deterministic bool         `json:"deterministic"`
+	Rows          []DynamicRow `json:"rows"`
+}
+
+// DynamicSweep runs the benchmark.
+func DynamicSweep(cfg DynamicConfig, progress func(DynamicRow)) (*DynamicReport, error) {
+	return DynamicSweepCtx(context.Background(), cfg, progress)
+}
+
+// DynamicSweepCtx is DynamicSweep bounded by ctx: cancellation aborts
+// the in-flight cold run or full recolor at its next round barrier.
+func DynamicSweepCtx(ctx context.Context, cfg DynamicConfig, progress func(DynamicRow)) (*DynamicReport, error) {
+	if cfg.AvgDeg <= 0 {
+		return nil, fmt.Errorf("experiment: dynamic sweep needs a positive average degree, got %g", cfg.AvgDeg)
+	}
+	if cfg.BatchesPerSize <= 0 {
+		return nil, fmt.Errorf("experiment: dynamic sweep needs at least one batch per size, got %d", cfg.BatchesPerSize)
+	}
+	base := rng.New(cfg.Seed)
+	g, err := gen.ErdosRenyiAvgDegree(base.Derive(uint64(cfg.N)), cfg.N, cfg.AvgDeg)
+	if err != nil {
+		return nil, err
+	}
+	runSeed := base.Uint64()
+	opt := core.Options{Seed: runSeed, Engine: net.RunShard, Workers: cfg.Workers}
+
+	start := time.Now()
+	cold, err := core.ColorEdgesCtx(ctx, g, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: dynamic cold run: %v", err)
+	}
+	if cold.Aborted {
+		return nil, fmt.Errorf("experiment: dynamic cold run: %w", ctx.Err())
+	}
+	if !cold.Terminated {
+		return nil, fmt.Errorf("experiment: dynamic cold run truncated at %d rounds", cold.CompRounds)
+	}
+	coldWall := time.Since(start)
+
+	palette := 0
+	if cfg.TightPalette {
+		palette = int(cfg.AvgDeg)
+		if palette < 2 {
+			palette = 2
+		}
+	}
+	rep := &DynamicReport{
+		Seed:       cfg.Seed,
+		N:          g.N(),
+		M:          g.M(),
+		Delta:      g.MaxDegree(),
+		AvgDeg:     cfg.AvgDeg,
+		Workers:    cfg.Workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Palette:    palette,
+		ColdColors: cold.NumColors,
+		ColdWallMS: float64(coldWall.Microseconds()) / 1000,
+	}
+	rep.Deterministic = true
+
+	newRecolorer := func() (*dynamic.Recolorer, error) {
+		return dynamic.New(g.Clone(), append([]int(nil), cold.Colors...), dynamic.Options{
+			Seed:    runSeed,
+			Palette: palette,
+			Repair:  core.Options{Engine: net.RunShard, Workers: cfg.Workers},
+		})
+	}
+
+	for _, size := range cfg.BatchSizes {
+		if size <= 0 {
+			return nil, fmt.Errorf("experiment: dynamic sweep batch size %d", size)
+		}
+		rec, err := newRecolorer()
+		if err != nil {
+			return nil, err
+		}
+		mr := base.Derive(uint64(size))
+		row := DynamicRow{BatchSize: size, Batches: cfg.BatchesPerSize}
+		batches := make([]*msg.MutationBatch, 0, cfg.BatchesPerSize)
+		for bi := 0; bi < cfg.BatchesPerSize; bi++ {
+			b := mutationStream(mr, rec.Graph(), uint64(bi+1), size)
+			batches = append(batches, b)
+
+			incStart := time.Now()
+			r, err := rec.ApplyCtx(ctx, b)
+			incWall := time.Since(incStart)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: dynamic size=%d batch=%d: %v", size, bi+1, err)
+			}
+			row.Inserted += r.Inserted
+			row.Deleted += r.Deleted
+			row.Greedy += r.GreedyColored
+			row.RepairedEdges += r.RepairedEdges
+			row.RepairRounds += r.RepairRounds
+			row.FallbackEdges += r.FallbackEdges
+			if r.RegionSize > row.MaxRegionSize {
+				row.MaxRegionSize = r.RegionSize
+			}
+			if r.RegionEdges > row.MaxRegionEdges {
+				row.MaxRegionEdges = r.RegionEdges
+			}
+			row.IncWallMS += float64(incWall.Microseconds()) / 1000
+
+			if cfg.VerifyCap <= 0 || g.N() <= cfg.VerifyCap {
+				if v := verify.EdgeColoring(rec.Graph(), rec.Colors()); len(v) != 0 {
+					return nil, fmt.Errorf("experiment: dynamic size=%d batch=%d: invalid incremental coloring: %v", size, bi+1, v[0])
+				}
+			}
+
+			// The competing strategy: recolor the mutated graph from
+			// scratch. The compacted snapshot is what a cold run would be
+			// handed; its construction is not charged to either side.
+			cg, _ := rec.Compacted()
+			fullStart := time.Now()
+			full, err := core.ColorEdgesCtx(ctx, cg, core.Options{
+				Seed: runSeed, Engine: net.RunShard, Workers: cfg.Workers,
+			})
+			fullWall := time.Since(fullStart)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: dynamic size=%d batch=%d full recolor: %v", size, bi+1, err)
+			}
+			if full.Aborted {
+				return nil, fmt.Errorf("experiment: dynamic size=%d batch=%d full recolor: %w", size, bi+1, ctx.Err())
+			}
+			if !full.Terminated {
+				return nil, fmt.Errorf("experiment: dynamic size=%d batch=%d full recolor truncated at %d rounds", size, bi+1, full.CompRounds)
+			}
+			if cfg.VerifyCap <= 0 || cg.N() <= cfg.VerifyCap {
+				if v := verify.EdgeColoring(cg, full.Colors); len(v) != 0 {
+					return nil, fmt.Errorf("experiment: dynamic size=%d batch=%d: invalid full recolor: %v", size, bi+1, v[0])
+				}
+			}
+			row.FullWallMS += float64(fullWall.Microseconds()) / 1000
+			row.FullColors = full.NumColors
+		}
+		row.M = rec.Graph().M()
+		row.IncColors = rec.NumColors()
+		row.IncMaxColor = rec.MaxColor()
+		row.IncAvgMS = row.IncWallMS / float64(row.Batches)
+		row.FullAvgMS = row.FullWallMS / float64(row.Batches)
+		if row.IncAvgMS > 0 {
+			row.Speedup = row.FullAvgMS / row.IncAvgMS
+		}
+
+		// Determinism: replay the stream on a fresh recolorer and demand
+		// the identical color sequence.
+		replay, err := newRecolorer()
+		if err != nil {
+			return nil, err
+		}
+		for bi, b := range batches {
+			if _, err := replay.Apply(b); err != nil {
+				return nil, fmt.Errorf("experiment: dynamic size=%d replay batch=%d: %v", size, bi+1, err)
+			}
+		}
+		if !equalInts(replay.Colors(), rec.Colors()) {
+			rep.Deterministic = false
+		}
+
+		rep.Rows = append(rep.Rows, row)
+		if progress != nil {
+			progress(row)
+		}
+	}
+	return rep, nil
+}
+
+// mutationStream builds one valid batch against g's current state: an
+// even mix of deletions of live edges and insertions of fresh vertex
+// pairs, never touching the same pair twice (MutationBatch.Validate
+// rejects duplicates, and a delete of an edge inserted earlier in the
+// batch would fail the pre-batch applicability check).
+func mutationStream(r *rng.Rand, g *graph.Graph, seq uint64, size int) *msg.MutationBatch {
+	b := &msg.MutationBatch{Seq: seq}
+	touched := map[[2]int]bool{}
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	deletable := g.M() / 2 // keep the instance from draining across arms
+	for len(b.Muts) < size {
+		if r.Bool() && deletable > 0 {
+			id := graph.EdgeID(r.Intn(g.EdgeIDBound()))
+			if !g.Live(id) {
+				continue
+			}
+			e := g.EdgeAt(id)
+			if touched[key(e.U, e.V)] {
+				continue
+			}
+			touched[key(e.U, e.V)] = true
+			b.Muts = append(b.Muts, msg.Mutation{Op: msg.OpDelete, U: e.U, V: e.V})
+			deletable--
+			continue
+		}
+		u, v := r.Intn(g.N()), r.Intn(g.N())
+		if u == v || g.HasEdge(u, v) || touched[key(u, v)] {
+			continue
+		}
+		touched[key(u, v)] = true
+		b.Muts = append(b.Muts, msg.Mutation{Op: msg.OpInsert, U: u, V: v})
+	}
+	return b
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteDynamicReport writes the report as indented JSON.
+func WriteDynamicReport(w io.Writer, rep *DynamicReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import "testing"
+
+func TestDynamicSweepSmall(t *testing.T) {
+	cfg := DefaultDynamicConfig(11, 0) // floor: n=200
+	cfg.BatchSizes = []int{1, 5}
+	cfg.BatchesPerSize = 2
+	rep, err := DynamicSweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rep.Rows))
+	}
+	if !rep.Deterministic {
+		t.Fatal("replay diverged from the timed run")
+	}
+	if rep.ColdColors <= 0 || rep.Palette <= 0 {
+		t.Fatalf("cold palette %d, cap %d", rep.ColdColors, rep.Palette)
+	}
+	for _, row := range rep.Rows {
+		if row.Inserted+row.Deleted != row.BatchSize*row.Batches {
+			t.Fatalf("row %d: %d+%d mutations for %d batches of %d",
+				row.BatchSize, row.Inserted, row.Deleted, row.Batches, row.BatchSize)
+		}
+		if row.Greedy+row.RepairedEdges != row.Inserted {
+			t.Fatalf("row %d: greedy %d + repaired %d != inserted %d",
+				row.BatchSize, row.Greedy, row.RepairedEdges, row.Inserted)
+		}
+		if row.FullColors <= 0 || row.IncColors <= 0 || row.M <= 0 {
+			t.Fatalf("row %+v missing state", row)
+		}
+		if row.FullWallMS <= 0 {
+			t.Fatalf("row %d: full recolor took no time", row.BatchSize)
+		}
+	}
+}
+
+func TestDynamicSweepRejectsBadConfig(t *testing.T) {
+	cfg := DefaultDynamicConfig(1, 0)
+	cfg.AvgDeg = 0
+	if _, err := DynamicSweep(cfg, nil); err == nil {
+		t.Fatal("zero degree accepted")
+	}
+	cfg = DefaultDynamicConfig(1, 0)
+	cfg.BatchesPerSize = 0
+	if _, err := DynamicSweep(cfg, nil); err == nil {
+		t.Fatal("zero batches accepted")
+	}
+	cfg = DefaultDynamicConfig(1, 0)
+	cfg.BatchSizes = []int{0}
+	if _, err := DynamicSweep(cfg, nil); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+}

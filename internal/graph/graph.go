@@ -46,14 +46,24 @@ func (e Edge) Other(w int) int {
 func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 
 // Graph is a simple undirected graph. Build it with New and AddEdge;
-// afterwards it is immutable by convention and safe for concurrent reads.
+// once handed to an engine it is immutable by convention and safe for
+// concurrent reads. RemoveEdge supports the dynamic-recoloring workload:
+// a removed edge leaves a hole at its id, and the id is recycled by the
+// next AddEdge, so edge ids stay dense under balanced churn and every
+// id-indexed side table (colors, weights) keeps its meaning across
+// mutations. Graphs that never see a removal have no holes and
+// EdgeIDBound() == M(), the historical invariant.
 type Graph struct {
 	n     int
 	adj   [][]int    // adj[u] = sorted-by-insertion neighbor list
 	inc   [][]EdgeID // inc[u][i] = id of edge (u, adj[u][i])
-	edges []Edge     // edges[id] = normalized endpoints
+	edges []Edge     // edges[id] = normalized endpoints, or edgeHole
+	free  []EdgeID   // removed ids awaiting recycling (LIFO)
 	index map[Edge]EdgeID
 }
+
+// edgeHole marks a removed edge's slot in the edge list.
+var edgeHole = Edge{-1, -1}
 
 // New returns an empty graph on n vertices. It panics if n < 0.
 func New(n int) *Graph {
@@ -71,8 +81,19 @@ func New(n int) *Graph {
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
-// M returns the number of edges.
-func (g *Graph) M() int { return len(g.edges) }
+// M returns the number of (live) edges.
+func (g *Graph) M() int { return len(g.edges) - len(g.free) }
+
+// EdgeIDBound returns one past the largest edge id ever assigned — the
+// length any slice indexed by EdgeID must have. Equal to M() unless
+// edges have been removed without their ids being recycled yet.
+func (g *Graph) EdgeIDBound() int { return len(g.edges) }
+
+// Live reports whether id names a present edge (in range and not a
+// removal hole).
+func (g *Graph) Live(id EdgeID) bool {
+	return id >= 0 && int(id) < len(g.edges) && g.edges[id] != edgeHole
+}
 
 // AddEdge inserts the undirected edge {u, v} and returns its id.
 // Self-loops, duplicate edges, and out-of-range endpoints are errors.
@@ -87,14 +108,56 @@ func (g *Graph) AddEdge(u, v int) (EdgeID, error) {
 	if _, dup := g.index[e]; dup {
 		return -1, fmt.Errorf("graph: duplicate edge %v", e)
 	}
-	id := EdgeID(len(g.edges))
-	g.edges = append(g.edges, e)
+	var id EdgeID
+	if k := len(g.free); k > 0 {
+		id = g.free[k-1]
+		g.free = g.free[:k-1]
+		g.edges[id] = e
+	} else {
+		id = EdgeID(len(g.edges))
+		g.edges = append(g.edges, e)
+	}
 	g.index[e] = id
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 	g.inc[u] = append(g.inc[u], id)
 	g.inc[v] = append(g.inc[v], id)
 	return id, nil
+}
+
+// RemoveEdge deletes the undirected edge {u, v} and returns the id it
+// occupied. The id becomes a hole (Live reports false, EdgeAt returns
+// {-1,-1}) until the next AddEdge recycles it; adjacency and incidence
+// lists of both endpoints are maintained by swap-removal, so neighbor
+// order is not preserved across a removal.
+func (g *Graph) RemoveEdge(u, v int) (EdgeID, error) {
+	id, ok := g.EdgeIDOf(u, v)
+	if !ok {
+		return -1, fmt.Errorf("graph: no edge (%d,%d) to remove", u, v)
+	}
+	e := g.edges[id]
+	delete(g.index, e)
+	g.edges[id] = edgeHole
+	g.free = append(g.free, id)
+	g.detach(e.U, id)
+	g.detach(e.V, id)
+	return id, nil
+}
+
+// detach swap-removes edge id from u's adjacency and incidence lists.
+func (g *Graph) detach(u int, id EdgeID) {
+	inc := g.inc[u]
+	for i, x := range inc {
+		if x == id {
+			last := len(inc) - 1
+			g.adj[u][i] = g.adj[u][last]
+			inc[i] = inc[last]
+			g.adj[u] = g.adj[u][:last]
+			g.inc[u] = inc[:last]
+			return
+		}
+	}
+	panic(fmt.Sprintf("graph: edge %d missing from vertex %d incidence", id, u))
 }
 
 // MustAddEdge is AddEdge that panics on error; for tests and generators
@@ -125,13 +188,14 @@ func (g *Graph) EdgeIDOf(u, v int) (EdgeID, bool) {
 	return id, ok
 }
 
-// EdgeAt returns the endpoints of edge id.
+// EdgeAt returns the endpoints of edge id ({-1,-1} for a removal hole).
 func (g *Graph) EdgeAt(id EdgeID) Edge {
 	return g.edges[id]
 }
 
-// Edges returns the edge list indexed by EdgeID. The caller must not
-// modify the returned slice.
+// Edges returns the edge list indexed by EdgeID. After removals the
+// slice contains {-1,-1} holes; iterate with Live or skip negative
+// endpoints. The caller must not modify the returned slice.
 func (g *Graph) Edges() []Edge { return g.edges }
 
 // Neighbors returns u's neighbor list in insertion order. The caller must
@@ -188,13 +252,44 @@ func (g *Graph) DegreeHistogram() []int {
 	return counts
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, preserving edge ids, removal holes,
+// and the id-recycling free list, so a clone of a mutated graph keeps
+// every id-indexed side table valid.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	for _, e := range g.edges {
-		c.MustAddEdge(e.U, e.V)
+	c := &Graph{
+		n:     g.n,
+		adj:   make([][]int, g.n),
+		inc:   make([][]EdgeID, g.n),
+		edges: append([]Edge(nil), g.edges...),
+		free:  append([]EdgeID(nil), g.free...),
+		index: make(map[Edge]EdgeID, len(g.index)),
+	}
+	for u := 0; u < g.n; u++ {
+		c.adj[u] = append([]int(nil), g.adj[u]...)
+		c.inc[u] = append([]EdgeID(nil), g.inc[u]...)
+	}
+	for e, id := range g.index {
+		c.index[e] = id
 	}
 	return c
+}
+
+// Compacted returns a fresh graph containing g's live edges with dense
+// ids in increasing old-id order, plus the old id of each new edge
+// (ids[newID] == oldID). For graphs without holes the mapping is the
+// identity. Use it to hand a mutated graph to code that expects the
+// historical dense-id invariant (cold recoloring runs, text export).
+func (g *Graph) Compacted() (*Graph, []EdgeID) {
+	c := New(g.n)
+	ids := make([]EdgeID, 0, g.M())
+	for id, e := range g.edges {
+		if e == edgeHole {
+			continue
+		}
+		c.MustAddEdge(e.U, e.V)
+		ids = append(ids, EdgeID(id))
+	}
+	return c, ids
 }
 
 // SortedNeighbors returns a sorted copy of u's neighbor list; useful for
@@ -226,10 +321,26 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
-	if degSum != 2*len(g.edges) {
-		return fmt.Errorf("graph: degree sum %d != 2M %d", degSum, 2*len(g.edges))
+	if degSum != 2*g.M() {
+		return fmt.Errorf("graph: degree sum %d != 2M %d", degSum, 2*g.M())
+	}
+	holes := make(map[EdgeID]bool, len(g.free))
+	for _, id := range g.free {
+		if int(id) < 0 || int(id) >= len(g.edges) || g.edges[id] != edgeHole {
+			return fmt.Errorf("graph: free list names live or out-of-range edge %d", id)
+		}
+		if holes[id] {
+			return fmt.Errorf("graph: edge id %d freed twice", id)
+		}
+		holes[id] = true
 	}
 	for id, e := range g.edges {
+		if e == edgeHole {
+			if !holes[EdgeID(id)] {
+				return fmt.Errorf("graph: hole at edge %d missing from free list", id)
+			}
+			continue
+		}
 		if got, ok := g.index[e]; !ok || got != EdgeID(id) {
 			return fmt.Errorf("graph: index round-trip failed for edge %d %v", id, e)
 		}

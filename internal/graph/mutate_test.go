@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"dima/internal/rng"
+)
+
+func TestRemoveEdgeBasics(t *testing.T) {
+	g := triangle()
+	id, err := g.RemoveEdge(2, 1) // endpoints in either order
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || g.EdgeIDBound() != 3 {
+		t.Fatalf("after removal: M=%d bound=%d", g.M(), g.EdgeIDBound())
+	}
+	if g.Live(id) || g.HasEdge(1, 2) {
+		t.Fatal("removed edge still present")
+	}
+	if g.EdgeAt(id) != (Edge{-1, -1}) {
+		t.Fatalf("hole endpoints = %v", g.EdgeAt(id))
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatalf("degrees not maintained: %d %d", g.Degree(1), g.Degree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RemoveEdge(1, 2); err == nil {
+		t.Fatal("double removal succeeded")
+	}
+	// The next insertion recycles the freed id.
+	id2, err := g.AddEdge(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("recycled id = %d, want %d", id2, id)
+	}
+	if g.M() != 3 || g.EdgeIDBound() != 3 {
+		t.Fatalf("after recycling: M=%d bound=%d", g.M(), g.EdgeIDBound())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveEdgeErrors(t *testing.T) {
+	g := path3()
+	for _, c := range [][2]int{{0, 2}, {0, 0}, {-1, 1}, {0, 3}} {
+		if _, err := g.RemoveEdge(c[0], c[1]); err == nil {
+			t.Fatalf("RemoveEdge(%d,%d) succeeded", c[0], c[1])
+		}
+	}
+	if g.M() != 2 {
+		t.Fatalf("failed removals mutated the graph: M=%d", g.M())
+	}
+}
+
+// edgeSet collects a graph's live edges as a sorted slice.
+func edgeSet(g *Graph) []Edge {
+	var out []Edge
+	for _, e := range g.Edges() {
+		if e.U >= 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// TestMutationChurnAgainstRebuild is the property test behind RemoveEdge:
+// after any random add/remove sequence the mutated graph is externally
+// identical to a graph rebuilt from scratch from the surviving edge set,
+// and its internal invariants (Validate, id recycling accounting) hold.
+func TestMutationChurnAgainstRebuild(t *testing.T) {
+	r := rng.New(99)
+	const n = 30
+	g := New(n)
+	ref := map[Edge]bool{}
+	peak := 0
+	for step := 0; step < 4000; step++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		e := Edge{u, v}.Norm()
+		if ref[e] {
+			if r.Float64() < 0.7 { // bias toward removal so churn reaches steady state
+				if _, err := g.RemoveEdge(u, v); err != nil {
+					t.Fatalf("step %d: remove %v: %v", step, e, err)
+				}
+				delete(ref, e)
+			}
+		} else {
+			if _, err := g.AddEdge(u, v); err != nil {
+				t.Fatalf("step %d: add %v: %v", step, e, err)
+			}
+			ref[e] = true
+		}
+		if len(ref) > peak {
+			peak = len(ref)
+		}
+		if step%250 != 0 && step != 3999 {
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if g.M() != len(ref) {
+			t.Fatalf("step %d: M=%d, reference has %d", step, g.M(), len(ref))
+		}
+		// Id recycling keeps the id space bounded by the historical peak.
+		if g.EdgeIDBound() > peak {
+			t.Fatalf("step %d: id bound %d exceeds peak edge count %d", step, g.EdgeIDBound(), peak)
+		}
+		rebuilt := New(n)
+		for e := range ref {
+			rebuilt.MustAddEdge(e.U, e.V)
+		}
+		for u := 0; u < n; u++ {
+			if g.Degree(u) != rebuilt.Degree(u) {
+				t.Fatalf("step %d: vertex %d degree %d, rebuilt %d", step, u, g.Degree(u), rebuilt.Degree(u))
+			}
+			got, want := g.SortedNeighbors(u), rebuilt.SortedNeighbors(u)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: vertex %d neighbors %v, rebuilt %v", step, u, got, want)
+				}
+			}
+		}
+		if got, want := edgeSet(g), edgeSet(rebuilt); len(got) != len(want) {
+			t.Fatalf("step %d: edge sets diverge", step)
+		} else {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: edge sets diverge at %d: %v vs %v", step, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCompacted(t *testing.T) {
+	r := rng.New(7)
+	g := New(20)
+	for step := 0; step < 300; step++ {
+		u, v := r.Intn(20), r.Intn(20)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			g.RemoveEdge(u, v)
+		} else {
+			g.MustAddEdge(u, v)
+		}
+	}
+	c, ids := g.Compacted()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != g.M() || c.EdgeIDBound() != c.M() || len(ids) != c.M() {
+		t.Fatalf("compacted: M=%d (want %d) bound=%d ids=%d", c.M(), g.M(), c.EdgeIDBound(), len(ids))
+	}
+	for newID, oldID := range ids {
+		if c.EdgeAt(EdgeID(newID)) != g.EdgeAt(oldID) {
+			t.Fatalf("mapping broken at %d: %v vs %v", newID, c.EdgeAt(EdgeID(newID)), g.EdgeAt(oldID))
+		}
+	}
+	// Old ids come out in increasing order, so relative id order survives.
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("ids not increasing: %v", ids)
+		}
+	}
+}
+
+func TestCloneMutatedPreservesIDs(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.RemoveEdge(1, 2)
+	c := g.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != g.M() || c.EdgeIDBound() != g.EdgeIDBound() {
+		t.Fatalf("clone shape: M=%d/%d bound=%d/%d", c.M(), g.M(), c.EdgeIDBound(), g.EdgeIDBound())
+	}
+	for id := 0; id < g.EdgeIDBound(); id++ {
+		if c.EdgeAt(EdgeID(id)) != g.EdgeAt(EdgeID(id)) {
+			t.Fatalf("edge %d diverged", id)
+		}
+	}
+	// The clone recycles the same hole, independently of the original.
+	cid, _ := c.AddEdge(0, 4)
+	if cid != 1 {
+		t.Fatalf("clone recycled id %d, want 1", cid)
+	}
+	if g.HasEdge(0, 4) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	gid, _ := g.AddEdge(3, 4)
+	if gid != 1 {
+		t.Fatalf("original recycled id %d, want 1", gid)
+	}
+}

@@ -24,6 +24,9 @@ func WriteGraph(w io.Writer, g *graph.Graph) error {
 	fmt.Fprintf(bw, "# dima edge list: %d vertices, %d edges\n", g.N(), g.M())
 	fmt.Fprintf(bw, "n %d\n", g.N())
 	for _, e := range g.Edges() {
+		if e.U < 0 {
+			continue // removal hole
+		}
 		fmt.Fprintf(bw, "e %d %d\n", e.U, e.V)
 	}
 	return bw.Flush()

@@ -20,6 +20,8 @@ import (
 //	GET    /jobs/{id}         one job's status
 //	GET    /jobs/{id}/result  the coloring (done or canceled jobs)
 //	GET    /jobs/{id}/stats   per-round telemetry as JSON Lines
+//	POST   /jobs/{id}/mutate  stream mutation batches into a finished
+//	                          edge-coloring job (incremental repair)
 //	POST   /jobs/{id}/cancel  request cancellation (also DELETE /jobs/{id})
 //	GET    /healthz           liveness, queue depth, configuration
 //
@@ -32,6 +34,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/stats", s.handleStats)
+	mux.HandleFunc("POST /jobs/{id}/mutate", s.handleMutate)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -56,6 +59,17 @@ type JobStatus struct {
 	FinishedAt  *time.Time     `json:"finishedAt,omitempty"`
 	Error       string         `json:"error,omitempty"`
 	Result      *ResultSummary `json:"result,omitempty"`
+	// Mutations summarizes the dynamic recoloring state when the job has
+	// had mutation batches applied (POST /jobs/{id}/mutate).
+	Mutations *MutationSummary `json:"mutations,omitempty"`
+}
+
+// MutationSummary reports the maintained coloring after mutations.
+type MutationSummary struct {
+	Batches  int `json:"batches"`
+	M        int `json:"m"`
+	Colors   int `json:"colors"`
+	MaxColor int `json:"maxColor"`
 }
 
 // ResultSummary is the scalar outcome; the full coloring lives at the
@@ -93,6 +107,12 @@ func (j *job) status() JobStatus {
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.FinishedAt = &t
+	}
+	if j.mutBatches > 0 {
+		st.Mutations = &MutationSummary{
+			Batches: j.mutBatches, M: j.mutM,
+			Colors: j.mutColors, MaxColor: j.mutMaxColor,
+		}
 	}
 	if j.res != nil {
 		colored := 0
@@ -161,7 +181,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
-// JobResult is the full coloring payload.
+// JobResult is the full coloring payload. For a job that has had
+// mutation batches applied, M counts live edges and Colors is indexed
+// by edge id with -1 at ids freed by deletions.
 type JobResult struct {
 	ID     string `json:"id"`
 	Kind   string `json:"kind"` // "edge" or "arc"
@@ -177,6 +199,22 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
 		return
 	}
+	// A mutated job serves its maintained (possibly holey) state; the
+	// snapshot is taken under recMu so a concurrent mutation stream
+	// cannot tear it.
+	j.recMu.Lock()
+	if j.rec != nil {
+		m := j.rec.Graph().M()
+		colors := append([]int(nil), j.rec.Colors()...)
+		j.recMu.Unlock()
+		st := j.status()
+		writeJSON(w, http.StatusOK, JobResult{
+			ID: st.ID, Kind: "edge", N: st.N, M: m,
+			Colors: colors, JobStatus: st,
+		})
+		return
+	}
+	j.recMu.Unlock()
 	st := j.status()
 	if st.Result == nil {
 		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s: no result yet", st.ID, st.State))

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"mime"
+	"net/http"
+
+	"dima/internal/core"
+	"dima/internal/dynamic"
+	"dima/internal/graphio"
+	"dima/internal/msg"
+	"dima/internal/net"
+	"dima/internal/verify"
+)
+
+// POST /jobs/{id}/mutate applies streaming edge mutations to a finished
+// edge-coloring job, repairing the coloring incrementally
+// (internal/dynamic) instead of recoloring from scratch. Two request
+// shapes, distinguished by Content-Type:
+//
+//   - application/x-ndjson (or application/json): one MutateBatch JSON
+//     document per line; the response streams one MutateResponse line
+//     per batch as it is applied, so a long-lived connection can watch
+//     each batch repair and re-validate.
+//   - anything else: the body is a single batch in the text mutation
+//     list format ("+ u v" / "- u v", graphio.ReadMutations).
+//
+// Query parameters, read on the job's first mutate call only (they
+// configure the recolorer, which then lives for the job's lifetime):
+// palette caps the greedy palette (0 = 2Δ−1 under the current Δ), seed
+// seeds the repair runs. verify=false skips the per-batch O(m)
+// re-validation (the "valid" field is then omitted).
+//
+// A batch that fails validation (malformed ops, out-of-range or
+// duplicate endpoints, insert-of-existing, delete-of-missing) is
+// rejected atomically — the graph and coloring are untouched — and
+// reported on its response line; the stream continues with the next
+// batch. The endpoint answers 409 for jobs that are not finished edge
+// colorings (strong jobs have no incremental repair path).
+
+// MutateMutation is one mutation in the JSON stream. Op is "+" or
+// "insert" for insertion, "-" or "delete" for deletion.
+type MutateMutation struct {
+	Op string `json:"op"`
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// MutateBatch is one JSON line of the request stream.
+type MutateBatch struct {
+	Seq  uint64           `json:"seq"`
+	Muts []MutateMutation `json:"muts"`
+}
+
+// MutateResponse is one JSON line of the response stream, reporting how
+// the matching batch was applied.
+type MutateResponse struct {
+	Seq     uint64 `json:"seq"`
+	Applied bool   `json:"applied"`
+	Error   string `json:"error,omitempty"`
+	// Repair breakdown (dynamic.Report).
+	Inserted      int  `json:"inserted"`
+	Deleted       int  `json:"deleted"`
+	Greedy        int  `json:"greedy"`
+	RepairedEdges int  `json:"repairedEdges"`
+	RepairRounds  int  `json:"repairRounds"`
+	RegionSize    int  `json:"regionSize"`
+	RegionEdges   int  `json:"regionEdges"`
+	Fallback      int  `json:"fallback,omitempty"`
+	Aborted       bool `json:"aborted,omitempty"`
+	// Post-batch state: live edges, palette, and the re-validation
+	// verdict (nil when verify=false).
+	M        int   `json:"m"`
+	Colors   int   `json:"colors"`
+	MaxColor int   `json:"maxColor"`
+	Valid    *bool `json:"valid,omitempty"`
+}
+
+// errNotMutable maps to 409: the job has no complete edge coloring to
+// maintain.
+type errNotMutable struct{ reason string }
+
+func (e errNotMutable) Error() string { return e.reason }
+
+// recolorer returns the job's recolorer, creating it on first use from
+// the finished run's graph and coloring. Caller holds j.recMu.
+func (s *Server) recolorer(j *job, palette int, seed uint64) (*dynamic.Recolorer, error) {
+	if j.rec != nil {
+		return j.rec, nil
+	}
+	j.mu.Lock()
+	state, strong, res := j.state, j.req.Strong, j.res
+	j.mu.Unlock()
+	if strong {
+		return nil, errNotMutable{"strong colorings have no incremental repair path"}
+	}
+	if state != StateDone || res == nil || !res.Terminated {
+		return nil, errNotMutable{fmt.Sprintf("job is %s: mutations need a complete coloring", state)}
+	}
+	// Clone graph and colors: the job's own record stays immutable (and
+	// data-race free) for status/stats readers.
+	rec, err := dynamic.New(j.req.Graph.Clone(), append([]int(nil), res.Colors...), dynamic.Options{
+		Seed:    seed,
+		Palette: palette,
+		Repair: core.Options{
+			Engine:  net.RunShard,
+			Workers: s.cfg.ShardWorkers,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	j.rec = rec
+	return rec, nil
+}
+
+// toBatch converts the JSON shape to the wire batch, validating op
+// spellings here (endpoint and duplicate validation happens in Apply).
+func toBatch(mb MutateBatch) (*msg.MutationBatch, error) {
+	b := &msg.MutationBatch{Seq: mb.Seq, Muts: make([]msg.Mutation, len(mb.Muts))}
+	for i, m := range mb.Muts {
+		var op msg.MutOp
+		switch m.Op {
+		case "+", "insert":
+			op = msg.OpInsert
+		case "-", "delete":
+			op = msg.OpDelete
+		default:
+			return nil, fmt.Errorf("mutation %d: unknown op %q", i, m.Op)
+		}
+		b.Muts[i] = msg.Mutation{Op: op, U: m.U, V: m.V}
+	}
+	return b, nil
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	j := s.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	palette, err := queryInt(r, "palette", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	seed, err := queryUint(r, "seed", 1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	doVerify := r.URL.Query().Get("verify") != "false"
+
+	j.recMu.Lock()
+	defer j.recMu.Unlock()
+	rec, err := s.recolorer(j, palette, seed)
+	if err != nil {
+		if nm, ok := err.(errNotMutable); ok {
+			httpError(w, http.StatusConflict, nm)
+		} else {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+
+	// Responses stream while the request body is still arriving; HTTP/1
+	// servers drop the unread body once the first write goes out unless
+	// full duplex is on (h2 interleaves anyway and reports unsupported).
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	applyOne := func(b *msg.MutationBatch) {
+		resp := MutateResponse{Seq: b.Seq}
+		rep, err := rec.ApplyCtx(r.Context(), b)
+		if err != nil {
+			s.mutRejected.Inc()
+			resp.Error = err.Error()
+		} else {
+			s.mutBatches.Inc()
+			s.mutRepaired.Add(int64(rep.RepairedEdges))
+			resp.Applied = true
+			resp.Inserted = rep.Inserted
+			resp.Deleted = rep.Deleted
+			resp.Greedy = rep.GreedyColored
+			resp.RepairedEdges = rep.RepairedEdges
+			resp.RepairRounds = rep.RepairRounds
+			resp.RegionSize = rep.RegionSize
+			resp.RegionEdges = rep.RegionEdges
+			resp.Fallback = rep.FallbackEdges
+			resp.Aborted = rep.Aborted
+		}
+		resp.M = rec.Graph().M()
+		resp.Colors = rec.NumColors()
+		resp.MaxColor = rec.MaxColor()
+		if doVerify {
+			ok := len(verify.EdgeColoring(rec.Graph(), rec.Colors())) == 0
+			resp.Valid = &ok
+		}
+		if resp.Applied {
+			j.mu.Lock()
+			j.mutBatches++
+			j.mutM = resp.M
+			j.mutColors = resp.Colors
+			j.mutMaxColor = resp.MaxColor
+			j.mu.Unlock()
+		}
+		_ = enc.Encode(resp)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	if ct == "application/x-ndjson" || ct == "application/json" {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 1<<16), 1<<24)
+		line := 0
+		for sc.Scan() {
+			line++
+			raw := sc.Bytes()
+			if len(raw) == 0 {
+				continue
+			}
+			var mb MutateBatch
+			if err := json.Unmarshal(raw, &mb); err != nil {
+				s.mutRejected.Inc()
+				_ = enc.Encode(MutateResponse{Error: fmt.Sprintf("line %d: %v", line, err)})
+				return
+			}
+			b, err := toBatch(mb)
+			if err != nil {
+				s.mutRejected.Inc()
+				_ = enc.Encode(MutateResponse{Seq: mb.Seq, Error: err.Error()})
+				continue
+			}
+			applyOne(b)
+			if r.Context().Err() != nil {
+				return
+			}
+		}
+		return
+	}
+	// Raw upload: one batch in the text mutation-list format.
+	b, err := graphio.ReadMutations(body)
+	if err != nil {
+		s.mutRejected.Inc()
+		_ = enc.Encode(MutateResponse{Error: err.Error()})
+		return
+	}
+	applyOne(b)
+}

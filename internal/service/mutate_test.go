@@ -1,0 +1,277 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dima/internal/service"
+)
+
+// mutateNDJSON posts an ndjson batch stream and decodes the per-batch
+// response lines.
+func mutateNDJSON(t *testing.T, base, id, body, query string) []service.MutateResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs/"+id+"/mutate"+query, "application/x-ndjson",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: status %d: %s", resp.StatusCode, raw)
+	}
+	var out []service.MutateResponse
+	for _, line := range strings.Split(strings.TrimSpace(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		var mr service.MutateResponse
+		if err := json.Unmarshal([]byte(line), &mr); err != nil {
+			t.Fatalf("response line %q: %v", line, err)
+		}
+		out = append(out, mr)
+	}
+	return out
+}
+
+func fetchResult(t *testing.T, base, id string) service.JobResult {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d: %s", resp.StatusCode, raw)
+	}
+	var jr service.JobResult
+	if err := json.Unmarshal([]byte(raw), &jr); err != nil {
+		t.Fatal(err)
+	}
+	return jr
+}
+
+func TestMutateStreamRepairsAndStaysValid(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"er","n":40,"deg":4,"seed":3},"seed":7}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+	m0 := fetchResult(t, ts.URL, st.ID).M
+
+	// Three streamed batches: two inserts, one delete of an inserted
+	// edge, one more insert.
+	body := `{"seq":1,"muts":[{"op":"+","u":0,"v":1},{"op":"insert","u":2,"v":3}]}
+{"seq":2,"muts":[{"op":"-","u":0,"v":1}]}
+{"seq":3,"muts":[{"op":"+","u":0,"v":5}]}
+`
+	// The generator may have produced some of these edges already; drive
+	// against fresh vertex pairs via high ids if so — instead, simply
+	// tolerate per-batch rejection and count applied ones.
+	out := mutateNDJSON(t, ts.URL, st.ID, body, "")
+	if len(out) != 3 {
+		t.Fatalf("got %d response lines, want 3", len(out))
+	}
+	applied := 0
+	for i, mr := range out {
+		if mr.Valid == nil {
+			t.Fatalf("line %d: no validation verdict: %+v", i, mr)
+		}
+		if !*mr.Valid {
+			t.Fatalf("line %d: coloring went invalid: %+v", i, mr)
+		}
+		if mr.Applied {
+			applied++
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no batch applied")
+	}
+
+	// The result endpoint serves the mutated state; every live entry is
+	// colored and the status shows the mutation summary.
+	jr := fetchResult(t, ts.URL, st.ID)
+	if jr.M == m0 && applied > 0 && out[0].M != m0 {
+		t.Fatalf("result M %d does not reflect mutations", jr.M)
+	}
+	live := 0
+	for _, c := range jr.Colors {
+		if c >= 0 {
+			live++
+		}
+	}
+	if live != jr.M {
+		t.Fatalf("%d colored entries for %d live edges", live, jr.M)
+	}
+	fin := getStatus(t, ts.URL, st.ID)
+	if fin.Mutations == nil || fin.Mutations.Batches != applied || fin.Mutations.M != jr.M {
+		t.Fatalf("mutation summary %+v (applied %d, m %d)", fin.Mutations, applied, jr.M)
+	}
+}
+
+func TestMutateRejectsBadBatchesAtomically(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"cycle","n":10},"seed":1}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+
+	body := `{"seq":1,"muts":[{"op":"-","u":0,"v":5}]}
+{"seq":2,"muts":[{"op":"+","u":0,"v":1}]}
+{"seq":3,"muts":[{"op":"x","u":0,"v":2}]}
+{"seq":4,"muts":[{"op":"+","u":0,"v":99}]}
+{"seq":5,"muts":[{"op":"+","u":0,"v":2}]}
+`
+	out := mutateNDJSON(t, ts.URL, st.ID, body, "")
+	if len(out) != 5 {
+		t.Fatalf("got %d response lines, want 5", len(out))
+	}
+	// 1: delete of missing edge (cycle has (0,1)...(9,0), not (0,5)).
+	// 2: insert of existing edge (0,1). 3: unknown op. 4: out of range.
+	// 5: applicable.
+	for i, wantApplied := range []bool{false, false, false, false, true} {
+		if out[i].Applied != wantApplied {
+			t.Fatalf("line %d: applied=%v, want %v (%+v)", i, out[i].Applied, wantApplied, out[i])
+		}
+		if !wantApplied && out[i].Error == "" {
+			t.Fatalf("line %d: rejected without an error", i)
+		}
+	}
+	jr := fetchResult(t, ts.URL, st.ID)
+	if jr.M != 11 { // 10 cycle edges + 1 applied insert
+		t.Fatalf("M=%d after one applied insert on a 10-cycle", jr.M)
+	}
+}
+
+func TestMutateTextFormatSingleBatch(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"path","n":6},"seed":1}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+
+	resp, err := http.Post(ts.URL+"/jobs/"+st.ID+"/mutate", "text/plain",
+		strings.NewReader("# close the path into a cycle\n+ 5 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var mr service.MutateResponse
+	if err := json.Unmarshal([]byte(strings.TrimSpace(raw)), &mr); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Applied || mr.Inserted != 1 || mr.M != 6 || mr.Valid == nil || !*mr.Valid {
+		t.Fatalf("text batch response %+v", mr)
+	}
+}
+
+// TestMutateLongStreamFullDuplex streams a body well past the server's
+// per-connection read buffer. HTTP/1 servers stop reading the request
+// body once the first response byte goes out unless the handler enables
+// full duplex, which truncated exactly this workload to the ~4 KiB the
+// connection had already buffered.
+func TestMutateLongStreamFullDuplex(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"cycle","n":200},"seed":7}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+
+	// Batch i inserts chord (i-1, i+99) and deletes cycle edge (i-1, i):
+	// 100 applicable batches, ~7 KB of ndjson.
+	var sb strings.Builder
+	for i := 1; i <= 100; i++ {
+		fmt.Fprintf(&sb, `{"seq":%d,"muts":[{"op":"+","u":%d,"v":%d},{"op":"-","u":%d,"v":%d}]}`+"\n",
+			i, i-1, i+99, i-1, i)
+	}
+	out := mutateNDJSON(t, ts.URL, st.ID, sb.String(), "")
+	if len(out) != 100 {
+		t.Fatalf("got %d response lines for 100 batches", len(out))
+	}
+	for i, mr := range out {
+		if !mr.Applied {
+			t.Fatalf("batch %d not applied: %+v", i+1, mr)
+		}
+		if mr.Valid == nil || !*mr.Valid {
+			t.Fatalf("batch %d: coloring invalid: %+v", i+1, mr)
+		}
+	}
+	if jr := fetchResult(t, ts.URL, st.ID); jr.M != 200 {
+		t.Fatalf("M=%d after 100 inserts and 100 deletes on a 200-cycle", jr.M)
+	}
+}
+
+func TestMutateConflictsForStrongAndUnfinished(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	svc := service.New(service.Config{
+		Workers: 1,
+		Runner:  blockingRunner(nil, release),
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// Running job: 409.
+	st := submit(t, ts.URL, `{"gen":{"family":"cycle","n":8},"seed":1}`)
+	waitState(t, ts.URL, st.ID, service.StateRunning)
+	resp, err := http.Post(ts.URL+"/jobs/"+st.ID+"/mutate", "application/x-ndjson",
+		strings.NewReader(`{"seq":1,"muts":[{"op":"+","u":0,"v":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mutate running job: status %d, want 409", resp.StatusCode)
+	}
+
+	// Unknown job: 404.
+	resp, err = http.Post(ts.URL+"/jobs/zzz/mutate", "text/plain", strings.NewReader("+ 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("mutate unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMutateStrongJob409(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"cycle","n":6},"seed":1,"strong":true}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+	resp, err := http.Post(ts.URL+"/jobs/"+st.ID+"/mutate", "text/plain",
+		strings.NewReader("+ 0 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mutate strong job: status %d (%s), want 409", resp.StatusCode, raw)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dima/internal/core"
+	"dima/internal/dynamic"
 	"dima/internal/graph"
 	"dima/internal/metrics"
 	"dima/internal/net"
@@ -104,6 +105,19 @@ type job struct {
 	res       *core.Result
 	errMsg    string
 	stats     *metrics.Memory
+
+	// Dynamic recoloring state (POST /jobs/{id}/mutate). rec is created
+	// lazily on the first mutate call and guarded by recMu, which also
+	// serializes concurrent mutation streams; the mut* summary fields are
+	// snapshots updated under mu after each batch so status reads never
+	// touch the recolorer. Lock order: recMu before mu, never the
+	// reverse.
+	recMu       sync.Mutex
+	rec         *dynamic.Recolorer
+	mutBatches  int
+	mutM        int
+	mutColors   int
+	mutMaxColor int
 }
 
 // Server is the coloring service. It implements http.Handler; create
@@ -128,6 +142,7 @@ type Server struct {
 	// Instruments (registered on cfg.Registry when present).
 	submitted, rejected, done, failed, canceled *metrics.Counter
 	queued, running                             *metrics.Gauge
+	mutBatches, mutRejected, mutRepaired        *metrics.Counter
 }
 
 // New builds a Server and starts its worker pool.
@@ -157,6 +172,10 @@ func New(cfg Config) *Server {
 		canceled:  reg.Counter("serve_jobs_canceled_total"),
 		queued:    reg.Gauge("serve_jobs_queued"),
 		running:   reg.Gauge("serve_jobs_running"),
+
+		mutBatches:  reg.Counter("serve_mutate_batches_total"),
+		mutRejected: reg.Counter("serve_mutate_batches_rejected_total"),
+		mutRepaired: reg.Counter("serve_mutate_edges_repaired_total"),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if s.runner == nil {

@@ -27,17 +27,19 @@ func (v Violation) String() string { return v.Detail }
 
 // EdgeColoring checks that colors is a proper edge coloring of g:
 // every edge has a color >= 0 and no two adjacent edges share a color.
-// colors is indexed by graph.EdgeID.
+// colors is indexed by graph.EdgeID, so its length is g.EdgeIDBound()
+// (equal to g.M() for graphs that never saw a removal); entries at
+// removal holes are ignored.
 func EdgeColoring(g *graph.Graph, colors []int) []Violation {
 	var out []Violation
-	if len(colors) != g.M() {
+	if len(colors) != g.EdgeIDBound() {
 		return []Violation{{
 			Kind: "arity", A: -1, B: -1,
-			Detail: fmt.Sprintf("got %d colors for %d edges", len(colors), g.M()),
+			Detail: fmt.Sprintf("got %d colors for %d edge ids", len(colors), g.EdgeIDBound()),
 		}}
 	}
 	for e, c := range colors {
-		if c < 0 {
+		if c < 0 && g.Live(graph.EdgeID(e)) {
 			out = append(out, Violation{
 				Kind: "uncolored", A: e, B: -1,
 				Detail: fmt.Sprintf("edge %v has no color", g.EdgeAt(graph.EdgeID(e))),
@@ -120,6 +122,59 @@ func StrongColoring(d *graph.Digraph, colors []int) []Violation {
 	return out
 }
 
+// StrongEdgeColoring checks that colors is a strong edge coloring of
+// the undirected graph g: every edge has a color >= 0 and no two
+// distinct edges within distance 1 (sharing an endpoint or joined by a
+// third edge) share a color — the undirected counterpart of Definition
+// 2, i.e. a proper coloring of the square of the line graph. colors is
+// indexed by graph.EdgeID; removal holes are ignored. The check walks
+// closed neighborhoods, so it is O(M · Δ²).
+func StrongEdgeColoring(g *graph.Graph, colors []int) []Violation {
+	var out []Violation
+	if len(colors) != g.EdgeIDBound() {
+		return []Violation{{
+			Kind: "arity", A: -1, B: -1,
+			Detail: fmt.Sprintf("got %d colors for %d edge ids", len(colors), g.EdgeIDBound()),
+		}}
+	}
+	for e, c := range colors {
+		if c < 0 && g.Live(graph.EdgeID(e)) {
+			out = append(out, Violation{
+				Kind: "uncolored", A: e, B: -1,
+				Detail: fmt.Sprintf("edge %v has no color", g.EdgeAt(graph.EdgeID(e))),
+			})
+		}
+	}
+	for a := graph.EdgeID(0); int(a) < g.EdgeIDBound(); a++ {
+		if !g.Live(a) || colors[a] < 0 {
+			continue
+		}
+		ea := g.EdgeAt(a)
+		checked := map[graph.EdgeID]bool{}
+		consider := func(b graph.EdgeID) {
+			if b <= a || checked[b] || colors[b] < 0 {
+				return
+			}
+			checked[b] = true
+			if colors[a] == colors[b] && g.EdgesWithinDistance1(a, b) {
+				out = append(out, Violation{
+					Kind: "distance2", A: int(a), B: int(b),
+					Detail: fmt.Sprintf("edges %v and %v within distance 1 both colored %d",
+						ea, g.EdgeAt(b), colors[a]),
+				})
+			}
+		}
+		for _, end := range []int{ea.U, ea.V} {
+			for _, w := range append([]int{end}, g.Neighbors(end)...) {
+				for _, b := range g.IncidentEdges(w) {
+					consider(b)
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Matching checks that edges (a set of edge ids) is a matching in g: no
 // two selected edges share a vertex.
 func Matching(g *graph.Graph, edges []graph.EdgeID) []Violation {
@@ -127,7 +182,7 @@ func Matching(g *graph.Graph, edges []graph.EdgeID) []Violation {
 	used := make(map[int]graph.EdgeID)
 	seen := make(map[graph.EdgeID]bool)
 	for _, e := range edges {
-		if int(e) < 0 || int(e) >= g.M() {
+		if !g.Live(e) {
 			out = append(out, Violation{
 				Kind: "range", A: int(e), B: -1,
 				Detail: fmt.Sprintf("edge id %d out of range", e),
@@ -164,12 +219,15 @@ func MaximalMatching(g *graph.Graph, edges []graph.EdgeID) []Violation {
 	out := Matching(g, edges)
 	matched := make([]bool, g.N())
 	for _, e := range edges {
-		if int(e) >= 0 && int(e) < g.M() {
+		if g.Live(e) {
 			ed := g.EdgeAt(e)
 			matched[ed.U], matched[ed.V] = true, true
 		}
 	}
 	for id, ed := range g.Edges() {
+		if ed.U < 0 {
+			continue // removal hole
+		}
 		if !matched[ed.U] && !matched[ed.V] {
 			out = append(out, Violation{
 				Kind: "not-maximal", A: id, B: -1,
@@ -196,6 +254,9 @@ func VertexCover(g *graph.Graph, cover []int) []Violation {
 		in[v] = true
 	}
 	for id, e := range g.Edges() {
+		if e.U < 0 {
+			continue // removal hole
+		}
 		if !in[e.U] && !in[e.V] {
 			out = append(out, Violation{
 				Kind: "uncovered", A: id, B: -1,
@@ -215,6 +276,9 @@ func StrongLowerBound(d *graph.Digraph) int {
 	g := d.Under()
 	best := 0
 	for _, e := range g.Edges() {
+		if e.U < 0 {
+			continue // removal hole
+		}
 		if k := 2 * (g.Degree(e.U) + g.Degree(e.V) - 1); k > best {
 			best = k
 		}

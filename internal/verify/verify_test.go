@@ -279,3 +279,46 @@ func TestStrongColoringMatchesLineGraphSquareOracle(t *testing.T) {
 		}
 	}
 }
+
+func TestStrongEdgeColoringValidAndConflicts(t *testing.T) {
+	g := path4()
+	// Proper but not strong: (0,1) and (2,3) are within distance 1 via
+	// (1,2), so reusing color 0 is a distance2 violation.
+	v := StrongEdgeColoring(g, []int{0, 1, 0})
+	if len(v) != 1 || v[0].Kind != "distance2" {
+		t.Fatalf("violations = %v", v)
+	}
+	// All-distinct is strong.
+	if v := StrongEdgeColoring(g, []int{0, 1, 2}); len(v) != 0 {
+		t.Fatalf("strong coloring rejected: %v", v)
+	}
+	// Far-apart reuse is fine: extend the path so distance exceeds 1.
+	g2 := graph.New(6)
+	for u := 0; u < 5; u++ {
+		g2.MustAddEdge(u, u+1)
+	}
+	if v := StrongEdgeColoring(g2, []int{0, 1, 2, 0, 1}); len(v) != 0 {
+		t.Fatalf("distant reuse rejected: %v", v)
+	}
+}
+
+func TestStrongEdgeColoringUncoloredArityAndHoles(t *testing.T) {
+	g := path4()
+	if v := StrongEdgeColoring(g, []int{0, 1}); len(v) != 1 || v[0].Kind != "arity" {
+		t.Fatalf("violations = %v", v)
+	}
+	if v := StrongEdgeColoring(g, []int{0, -1, 2}); len(v) != 1 || v[0].Kind != "uncolored" {
+		t.Fatalf("violations = %v", v)
+	}
+	// A removal hole neither needs a color nor conflicts.
+	gh := path4()
+	id, err := gh.RemoveEdge(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := []int{0, 1, 0}
+	colors[id] = -1
+	if v := StrongEdgeColoring(gh, colors); len(v) != 0 {
+		t.Fatalf("holey strong coloring rejected: %v", v)
+	}
+}

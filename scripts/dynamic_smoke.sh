@@ -1,0 +1,103 @@
+#!/bin/sh
+# dynamic_smoke.sh — end-to-end smoke test of the mutate endpoint, as CI
+# runs it: start dimaserve, color a cycle, stream 100 mutation batches
+# through POST /jobs/{id}/mutate (each inserting a chord and deleting a
+# cycle edge), and assert every batch applied with a valid re-verified
+# coloring and that /result serves the mutated state. Uses only POSIX
+# sh, curl, grep, and sed so it runs anywhere the Go toolchain does.
+set -eu
+
+ADDR="${DIMASERVE_ADDR:-127.0.0.1:18219}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/dimaserve"
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+say() { echo "dynamic-smoke: $*"; }
+die() { say "FAIL: $*"; exit 1; }
+
+# Pull "field": "value" / "field": 123 out of the pretty-printed JSON.
+jfield() { sed -n "s/^ *\"$2\": \"\{0,1\}\([^\",]*\)\"\{0,1\},\{0,1\}\$/\1/p" "$1" | head -1; }
+
+go build -o "$BIN" ./cmd/dimaserve
+"$BIN" -addr "$ADDR" -workers 1 -queue 8 &
+SERVER_PID=$!
+
+say "waiting for $BASE/healthz"
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && die "server did not come up"
+    sleep 0.2
+done
+
+# 1. Color a 200-cycle and wait for it.
+OUT="$(mktemp)"
+curl -sf -H 'Content-Type: application/json' \
+    -d '{"gen":{"family":"cycle","n":200},"seed":7}' \
+    "$BASE/jobs" >"$OUT" || die "submit rejected"
+JOB="$(jfield "$OUT" id)"
+[ -n "$JOB" ] || die "submit returned no job id: $(cat "$OUT")"
+say "submitted $JOB"
+i=0
+while :; do
+    curl -sf "$BASE/jobs/$JOB" >"$OUT"
+    STATE="$(jfield "$OUT" state)"
+    [ "$STATE" = done ] && break
+    [ "$STATE" = failed ] && die "job failed: $(cat "$OUT")"
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "job stuck in $STATE"
+    sleep 0.2
+done
+say "$JOB done, streaming 100 mutation batches"
+
+# 2. Build a 100-batch ndjson stream: batch i inserts chord
+# (i-1, i+99) and deletes cycle edge (i-1, i) — all applicable, all
+# distinct, all inside the 200-vertex id space.
+BATCHES="$(mktemp)"
+i=1
+while [ "$i" -le 100 ]; do
+    printf '{"seq":%d,"muts":[{"op":"+","u":%d,"v":%d},{"op":"-","u":%d,"v":%d}]}\n' \
+        "$i" "$((i - 1))" "$((i + 99))" "$((i - 1))" "$i" >>"$BATCHES"
+    i=$((i + 1))
+done
+
+RESP="$(mktemp)"
+curl -sf -X POST -H 'Content-Type: application/x-ndjson' \
+    --data-binary "@$BATCHES" "$BASE/jobs/$JOB/mutate" >"$RESP" \
+    || die "mutate stream rejected"
+LINES="$(grep -c . "$RESP" || true)"
+[ "$LINES" = 100 ] || die "expected 100 response lines, got $LINES"
+APPLIED="$(grep -c '"applied":true' "$RESP" || true)"
+[ "$APPLIED" = 100 ] || die "only $APPLIED/100 batches applied: $(grep -v '"applied":true' "$RESP" | head -3)"
+VALID="$(grep -c '"valid":true' "$RESP" || true)"
+[ "$VALID" = 100 ] || die "only $VALID/100 batches re-verified valid"
+say "100 batches applied, every post-batch coloring verified valid"
+
+# 3. The result endpoint serves the mutated state: 200 - 100 + 100 live
+# edges, and the status carries the mutation summary.
+curl -sf "$BASE/jobs/$JOB/result" >"$OUT" || die "result not fetchable"
+M="$(jfield "$OUT" m)"
+[ "$M" = 200 ] || die "result m=$M, want 200 after 100 deletes + 100 inserts"
+curl -sf "$BASE/jobs/$JOB" >"$OUT"
+BATCHDONE="$(jfield "$OUT" batches)"
+[ "$BATCHDONE" = 100 ] || die "status mutation summary reports $BATCHDONE batches"
+
+# 4. A bad batch (delete of a missing edge) is rejected atomically and
+# the stream keeps serving.
+printf '{"seq":101,"muts":[{"op":"-","u":0,"v":50}]}\n' |
+    curl -sf -X POST -H 'Content-Type: application/x-ndjson' \
+        --data-binary @- "$BASE/jobs/$JOB/mutate" >"$RESP" \
+    || die "bad-batch stream rejected"
+grep -q '"applied":false\|"error"' "$RESP" || die "bad batch not rejected: $(cat "$RESP")"
+grep -q '"applied":true' "$RESP" && die "bad batch applied"
+say "bad batch rejected atomically"
+
+kill -TERM "$SERVER_PID"
+i=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "server did not drain after SIGTERM"
+    sleep 0.2
+done
+trap - EXIT
+say "PASS"
