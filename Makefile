@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke
+.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke load-smoke
 
 all: build
 
@@ -41,5 +41,11 @@ serve-smoke:
 # post-batch coloring re-verifies valid (docs/DYNAMIC.md).
 dynamic-smoke:
 	sh scripts/dynamic_smoke.sh
+
+# SLO smoke: boot dimaserve, run a 10-second dimaload burst, assert
+# zero error-budget violations and a non-empty Prometheus scrape
+# (docs/OBSERVABILITY.md). Writes BENCH_PR6.json.
+load-smoke:
+	sh scripts/load_smoke.sh
 
 check: build vet fmt-check test race

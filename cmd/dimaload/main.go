@@ -1,0 +1,741 @@
+// Command dimaload is the load harness for dimaserve: N concurrent
+// clients drive a mixed workload — job submissions polled to
+// completion, result fetches, mutation-batch streams, live SSE event
+// subscriptions, and cancellations — against a running server,
+// measuring per-operation latency with fixed-memory P² quantile
+// estimators (internal/stats) and checking the run against an error
+// budget and optional p99 SLO.
+//
+// Usage:
+//
+//	dimaload -url http://127.0.0.1:8080 -clients 8 -duration 10s
+//	dimaload -clients 16 -mix submit=4,mutate=3,events=2,cancel=1 \
+//	         -out BENCH_PR6.json -max-error-rate 0 -slo-p99 500ms
+//
+// The exit status encodes the SLO verdict: 0 when every operation
+// stayed inside its budget, 1 on any violation (CI gates on this), 2
+// on a usage error. -out writes the machine-readable report; the human
+// table always goes to stdout. docs/OBSERVABILITY.md has a quickstart.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dima/internal/rng"
+	"dima/internal/stats"
+)
+
+func main() {
+	var (
+		baseURL  = flag.String("url", "http://127.0.0.1:8080", "dimaserve base URL")
+		clients  = flag.Int("clients", 8, "concurrent client goroutines")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		jobN     = flag.Int("n", 200, "vertices per submitted job (er family)")
+		jobDeg   = flag.Float64("deg", 6, "average degree per submitted job")
+		batchLen = flag.Int("batch", 20, "mutations per mutate batch")
+		mix      = flag.String("mix", "submit=4,mutate=3,events=2,cancel=1",
+			"operation mix as weight pairs (submit, mutate, events, cancel)")
+		seed     = flag.Uint64("seed", 1, "workload seed (client i derives seed+i)")
+		opTO     = flag.Duration("op-timeout", 15*time.Second, "per-operation timeout")
+		outPath  = flag.String("out", "", "write the machine-readable report (BENCH_PR6.json shape) here")
+		maxErr   = flag.Float64("max-error-rate", 0, "error budget: max failed fraction per operation")
+		sloP99   = flag.Duration("slo-p99", 0, "p99 latency SLO per operation (0 = no latency SLO)")
+		quietRet = flag.Bool("quiet", false, "suppress the per-operation table")
+	)
+	flag.Parse()
+
+	if *clients < 1 {
+		usage(fmt.Errorf("-clients wants a positive count, got %d", *clients))
+	}
+	if *duration <= 0 {
+		usage(fmt.Errorf("-duration wants a positive duration, got %v", *duration))
+	}
+	if *jobN < 2 || *jobN > 100_000 {
+		usage(fmt.Errorf("-n wants [2, 100000], got %d", *jobN))
+	}
+	if *jobDeg <= 0 || *jobDeg > 64 {
+		usage(fmt.Errorf("-deg wants (0, 64], got %v", *jobDeg))
+	}
+	if *batchLen < 1 || *batchLen > 10_000 {
+		usage(fmt.Errorf("-batch wants [1, 10000], got %d", *batchLen))
+	}
+	if *maxErr < 0 || *maxErr > 1 {
+		usage(fmt.Errorf("-max-error-rate wants [0, 1], got %v", *maxErr))
+	}
+	if *sloP99 < 0 {
+		usage(fmt.Errorf("-slo-p99 wants a non-negative duration, got %v", *sloP99))
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		usage(err)
+	}
+
+	// The server must be up before the clock starts.
+	if err := waitHealthy(*baseURL, 5*time.Second); err != nil {
+		fatal(err)
+	}
+
+	ld := &loader{
+		base:     strings.TrimRight(*baseURL, "/"),
+		cols:     newCollectorSet(),
+		jobN:     *jobN,
+		jobDeg:   *jobDeg,
+		batchLen: *batchLen,
+		weights:  weights,
+		opTO:     *opTO,
+		client:   &http.Client{},
+	}
+
+	fmt.Fprintf(os.Stderr, "dimaload: %d clients, %v, mix %s against %s\n",
+		*clients, *duration, *mix, ld.base)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ld.run(rng.New(*seed+uint64(i)), deadline)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := ld.cols.report(reportConfig{
+		URL: ld.base, Clients: *clients, DurationSec: elapsed.Seconds(),
+		Mix: *mix, N: *jobN, Deg: *jobDeg, Batch: *batchLen, Seed: *seed,
+		MaxErrorRate: *maxErr, SLOP99Ms: float64(*sloP99) / float64(time.Millisecond),
+	})
+
+	if !*quietRet {
+		printTable(rep)
+	}
+	if *outPath != "" {
+		if err := writeReport(*outPath, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dimaload: report written to %s\n", *outPath)
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "dimaload: SLO VIOLATION: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dimaload: %d ops, 0 SLO violations\n", rep.Totals.Ops)
+}
+
+// parseMix decodes "submit=4,mutate=3,events=2,cancel=1".
+func parseMix(s string) (map[string]int, error) {
+	known := map[string]bool{"submit": true, "mutate": true, "events": true, "cancel": true}
+	w := map[string]int{}
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || !known[k] {
+			return nil, fmt.Errorf("-mix: want op=weight pairs over submit/mutate/events/cancel, got %q", part)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-mix: weight for %s wants a non-negative integer, got %q", k, v)
+		}
+		w[k] = n
+		total += n
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("-mix: all weights are zero")
+	}
+	return w, nil
+}
+
+func waitHealthy(base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(strings.TrimRight(base, "/") + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %v: %v", base, budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dimaload: %v\n", err)
+	os.Exit(1)
+}
+
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "dimaload: %v\n", err)
+	os.Exit(2)
+}
+
+// ---------------------------------------------------------------------------
+// Latency collection: one fixed-memory collector per operation.
+
+// collector accumulates one operation's latencies without retaining
+// samples: Welford moments plus P² estimators for p50/p95/p99.
+type collector struct {
+	mu        sync.Mutex
+	online    stats.Online
+	p50, p95  *stats.P2Quantile
+	p99       *stats.P2Quantile
+	errors    int
+	throttled int
+}
+
+func newCollector() *collector {
+	return &collector{
+		p50: stats.NewP2Quantile(0.50),
+		p95: stats.NewP2Quantile(0.95),
+		p99: stats.NewP2Quantile(0.99),
+	}
+}
+
+func (c *collector) record(d time.Duration, err error) {
+	ms := float64(d) / float64(time.Millisecond)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.errors++
+		return
+	}
+	c.online.Add(ms)
+	c.p50.Add(ms)
+	c.p95.Add(ms)
+	c.p99.Add(ms)
+}
+
+func (c *collector) throttle() {
+	c.mu.Lock()
+	c.throttled++
+	c.mu.Unlock()
+}
+
+// collectorSet maps operation name to collector.
+type collectorSet struct {
+	mu   sync.Mutex
+	byOp map[string]*collector
+}
+
+func newCollectorSet() *collectorSet { return &collectorSet{byOp: map[string]*collector{}} }
+
+func (s *collectorSet) get(op string) *collector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.byOp[op]
+	if !ok {
+		c = newCollector()
+		s.byOp[op] = c
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Report shapes (BENCH_PR6.json).
+
+type reportConfig struct {
+	URL          string  `json:"url"`
+	Clients      int     `json:"clients"`
+	DurationSec  float64 `json:"durationSec"`
+	Mix          string  `json:"mix"`
+	N            int     `json:"n"`
+	Deg          float64 `json:"deg"`
+	Batch        int     `json:"batch"`
+	Seed         uint64  `json:"seed"`
+	MaxErrorRate float64 `json:"maxErrorRate"`
+	SLOP99Ms     float64 `json:"sloP99Ms,omitempty"`
+}
+
+type opReport struct {
+	Count     int     `json:"count"`
+	Errors    int     `json:"errors"`
+	Throttled int     `json:"throttled,omitempty"`
+	ErrorRate float64 `json:"errorRate"`
+	QPS       float64 `json:"qps"`
+	MeanMs    float64 `json:"meanMs"`
+	P50Ms     float64 `json:"p50Ms"`
+	P95Ms     float64 `json:"p95Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+	MaxMs     float64 `json:"maxMs"`
+}
+
+type report struct {
+	Config reportConfig `json:"config"`
+	Totals struct {
+		Ops       int `json:"ops"`
+		Errors    int `json:"errors"`
+		Throttled int `json:"throttled"`
+	} `json:"totals"`
+	Ops        map[string]opReport `json:"ops"`
+	Violations []string            `json:"violations"`
+}
+
+func (s *collectorSet) report(cfg reportConfig) report {
+	rep := report{Config: cfg, Ops: map[string]opReport{}, Violations: []string{}}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for op, c := range s.byOp {
+		c.mu.Lock()
+		or := opReport{
+			Count:     c.online.N() + c.errors,
+			Errors:    c.errors,
+			Throttled: c.throttled,
+			MeanMs:    c.online.Mean(),
+			P50Ms:     c.p50.Value(),
+			P95Ms:     c.p95.Value(),
+			P99Ms:     c.p99.Value(),
+			MaxMs:     c.online.Max(),
+		}
+		c.mu.Unlock()
+		if or.Count > 0 {
+			or.ErrorRate = float64(or.Errors) / float64(or.Count)
+		}
+		if cfg.DurationSec > 0 {
+			or.QPS = float64(or.Count) / cfg.DurationSec
+		}
+		rep.Ops[op] = or
+		rep.Totals.Ops += or.Count
+		rep.Totals.Errors += or.Errors
+		rep.Totals.Throttled += or.Throttled
+
+		if or.Count > 0 && or.ErrorRate > cfg.MaxErrorRate {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"%s: error rate %.4f exceeds budget %.4f (%d/%d failed)",
+				op, or.ErrorRate, cfg.MaxErrorRate, or.Errors, or.Count))
+		}
+		if cfg.SLOP99Ms > 0 && or.Count > 0 && or.P99Ms > cfg.SLOP99Ms {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"%s: p99 %.2fms exceeds SLO %.2fms", op, or.P99Ms, cfg.SLOP99Ms))
+		}
+	}
+	sort.Strings(rep.Violations)
+	return rep
+}
+
+func printTable(rep report) {
+	tbl := stats.NewTable("op", "count", "err", "throttled", "qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+	ops := make([]string, 0, len(rep.Ops))
+	for op := range rep.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		r := rep.Ops[op]
+		tbl.AddRow(op, r.Count, r.Errors, r.Throttled,
+			fmt.Sprintf("%.1f", r.QPS), fmt.Sprintf("%.2f", r.MeanMs),
+			fmt.Sprintf("%.2f", r.P50Ms), fmt.Sprintf("%.2f", r.P95Ms),
+			fmt.Sprintf("%.2f", r.P99Ms), fmt.Sprintf("%.2f", r.MaxMs))
+	}
+	_ = tbl.Write(os.Stdout)
+}
+
+func writeReport(path string, rep report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// The workload.
+
+// loader drives one mixed workload against a dimaserve instance.
+type loader struct {
+	base     string
+	cols     *collectorSet
+	jobN     int
+	jobDeg   float64
+	batchLen int
+	weights  map[string]int
+	opTO     time.Duration
+	client   *http.Client
+
+	poolMu sync.Mutex
+	pool   []string // ids of completed edge-coloring jobs
+}
+
+// run is one client's loop: pick operations by weight until the
+// deadline.
+func (l *loader) run(r *rng.Rand, deadline time.Time) {
+	ops := []string{"submit", "mutate", "events", "cancel"}
+	total := 0
+	for _, op := range ops {
+		total += l.weights[op]
+	}
+	for time.Now().Before(deadline) {
+		pick := r.Intn(total)
+		var op string
+		for _, o := range ops {
+			if pick < l.weights[o] {
+				op = o
+				break
+			}
+			pick -= l.weights[o]
+		}
+		switch op {
+		case "submit":
+			l.opSubmit(r)
+		case "mutate":
+			l.opMutate(r)
+		case "events":
+			l.opEvents(r)
+		case "cancel":
+			l.opCancel(r)
+		}
+	}
+}
+
+// ctx returns a per-operation context.
+func (l *loader) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), l.opTO)
+}
+
+// popJob takes a random completed job from the pool (returns "" when
+// empty); pushJob returns it.
+func (l *loader) popJob(r *rng.Rand) string {
+	l.poolMu.Lock()
+	defer l.poolMu.Unlock()
+	if len(l.pool) == 0 {
+		return ""
+	}
+	i := r.Intn(len(l.pool))
+	id := l.pool[i]
+	l.pool[i] = l.pool[len(l.pool)-1]
+	l.pool = l.pool[:len(l.pool)-1]
+	return id
+}
+
+func (l *loader) pushJob(id string) {
+	l.poolMu.Lock()
+	defer l.poolMu.Unlock()
+	l.pool = append(l.pool, id)
+}
+
+// jobStatus is the slice of the wire JobStatus dimaload needs.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+// submitJob posts one generator-spec submission, retrying through 429
+// backpressure (counted as throttled, not errors), and records the
+// "submit" latency of the accepted POST. Returns the job id.
+func (l *loader) submitJob(r *rng.Rand, n int, deg float64, maxRounds int) (string, error) {
+	ctx, cancel := l.ctx()
+	defer cancel()
+	body := fmt.Sprintf(`{"gen":{"family":"er","n":%d,"deg":%v,"seed":%d},"seed":%d,"maxRounds":%d}`,
+		n, deg, r.Uint64()%1_000_000, r.Uint64()%1_000_000, maxRounds)
+	col := l.cols.get("submit")
+	for {
+		start := time.Now()
+		req, err := http.NewRequestWithContext(ctx, "POST", l.base+"/jobs", strings.NewReader(body))
+		if err != nil {
+			col.record(0, err)
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := l.client.Do(req)
+		if err != nil {
+			col.record(0, err)
+			return "", err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			col.throttle()
+			// Honor Retry-After (jittered server-side), capped small so a
+			// short load run keeps pushing.
+			wait := 50 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				err := fmt.Errorf("submit: backpressure outlasted the op timeout")
+				col.record(0, err)
+				return "", err
+			case <-time.After(wait):
+			}
+			continue
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			err = fmt.Errorf("submit: status %d", resp.StatusCode)
+		} else if err != nil {
+			err = fmt.Errorf("submit: decode: %v", err)
+		}
+		col.record(time.Since(start), err)
+		if err != nil {
+			return "", err
+		}
+		return st.ID, nil
+	}
+}
+
+// pollDone polls a job's status to a terminal state, recording each
+// poll as a "status" operation, and returns the final state.
+func (l *loader) pollDone(id string) (string, error) {
+	ctx, cancel := l.ctx()
+	defer cancel()
+	col := l.cols.get("status")
+	for {
+		start := time.Now()
+		st, err := l.getStatus(ctx, id)
+		col.record(time.Since(start), err)
+		if err != nil {
+			return "", err
+		}
+		if terminal(st.State) {
+			return st.State, nil
+		}
+		select {
+		case <-ctx.Done():
+			err := fmt.Errorf("status: job %s not terminal before op timeout", id)
+			l.cols.get("job").record(0, err)
+			return "", err
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func (l *loader) getStatus(ctx context.Context, id string) (jobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", l.base+"/jobs/"+id, nil)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	resp, err := l.client.Do(req)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobStatus{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return st, nil
+}
+
+// opSubmit: submit → poll to done ("job" is the end-to-end latency) →
+// fetch the result → pool the job for mutate/events operations.
+func (l *loader) opSubmit(r *rng.Rand) {
+	start := time.Now()
+	id, err := l.submitJob(r, l.jobN, l.jobDeg, 0)
+	if err != nil {
+		return
+	}
+	state, err := l.pollDone(id)
+	if err != nil {
+		return
+	}
+	jobCol := l.cols.get("job")
+	if state != "done" {
+		jobCol.record(0, fmt.Errorf("job %s finished %s", id, state))
+		return
+	}
+	jobCol.record(time.Since(start), nil)
+
+	// Result fetch rides along: the read path under load.
+	ctx, cancel := l.ctx()
+	defer cancel()
+	col := l.cols.get("result")
+	rstart := time.Now()
+	req, _ := http.NewRequestWithContext(ctx, "GET", l.base+"/jobs/"+id+"/result", nil)
+	resp, err := l.client.Do(req)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("result: status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	col.record(time.Since(rstart), err)
+	if err == nil {
+		l.pushJob(id)
+	}
+}
+
+// opMutate: stream one ndjson mutation batch into a pooled job and
+// read its repair report; latency is the full round trip.
+func (l *loader) opMutate(r *rng.Rand) {
+	id := l.popJob(r)
+	if id == "" {
+		l.opSubmit(r)
+		return
+	}
+	defer l.pushJob(id)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `{"seq":%d,"muts":[`, r.Uint64()%1_000_000)
+	for i := 0; i < l.batchLen; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		u := r.Intn(l.jobN)
+		v := (u + 1 + r.Intn(l.jobN-1)) % l.jobN
+		fmt.Fprintf(&sb, `{"op":"+","u":%d,"v":%d}`, u, v)
+	}
+	sb.WriteString("]}\n")
+
+	ctx, cancel := l.ctx()
+	defer cancel()
+	col := l.cols.get("mutate")
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, "POST", l.base+"/jobs/"+id+"/mutate", strings.NewReader(sb.String()))
+	if err != nil {
+		col.record(0, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := l.client.Do(req)
+	if err != nil {
+		col.record(0, err)
+		return
+	}
+	raw, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode != http.StatusOK:
+		err = fmt.Errorf("mutate: status %d", resp.StatusCode)
+	case rerr != nil:
+		err = fmt.Errorf("mutate: read: %v", rerr)
+	case len(raw) == 0:
+		err = fmt.Errorf("mutate: empty response stream")
+	}
+	// A batch rejected for duplicate inserts is a valid server answer,
+	// not a harness error: the random workload occasionally re-inserts
+	// an existing edge. Only transport/status failures count.
+	col.record(time.Since(start), err)
+}
+
+// opEvents: subscribe to a pooled job's SSE stream; latency is
+// time-to-first-event. The stream is then read until the terminal
+// status from replay (immediate for pooled jobs) and closed.
+func (l *loader) opEvents(r *rng.Rand) {
+	id := l.popJob(r)
+	if id == "" {
+		l.opSubmit(r)
+		return
+	}
+	defer l.pushJob(id)
+
+	ctx, cancel := l.ctx()
+	defer cancel()
+	col := l.cols.get("events")
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, "GET", l.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		col.record(0, err)
+		return
+	}
+	resp, err := l.client.Do(req)
+	if err != nil {
+		col.record(0, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		col.record(0, fmt.Errorf("events: status %d", resp.StatusCode))
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	first := time.Duration(0)
+	sawTerminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		if first == 0 && strings.HasPrefix(line, "event: ") {
+			first = time.Since(start)
+		}
+		// The pooled job is done, so its replayed history ends with a
+		// terminal status; one mutation event would do as well.
+		if strings.HasPrefix(line, "data: ") &&
+			(strings.Contains(line, `"state":"done"`) || strings.Contains(line, `"state":"canceled"`) ||
+				strings.Contains(line, `"state":"failed"`)) {
+			sawTerminal = true
+			break
+		}
+	}
+	if !sawTerminal {
+		col.record(0, fmt.Errorf("events: stream ended before a terminal status"))
+		return
+	}
+	col.record(first, nil)
+}
+
+// opCancel: submit a job and immediately request cancellation; latency
+// is the cancel round trip. Either outcome (canceled mid-run or done
+// before the cancel landed) is a success.
+func (l *loader) opCancel(r *rng.Rand) {
+	// A taller instance than the submit mix so the cancel usually lands
+	// mid-run; maxRounds keeps the worst case bounded.
+	id, err := l.submitJob(r, l.jobN*2, l.jobDeg, 0)
+	if err != nil {
+		return
+	}
+	ctx, cancel := l.ctx()
+	defer cancel()
+	col := l.cols.get("cancel")
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, "POST", l.base+"/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		col.record(0, err)
+		return
+	}
+	resp, err := l.client.Do(req)
+	if err != nil {
+		col.record(0, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err = fmt.Errorf("cancel: status %d", resp.StatusCode)
+	}
+	col.record(time.Since(start), err)
+	if err != nil {
+		return
+	}
+	if state, err := l.pollDone(id); err == nil && state == "done" {
+		// Completed before the cancel landed: still a valid pool entry.
+		l.pushJob(id)
+	}
+}

@@ -209,6 +209,87 @@ func TestRoundStatsStructural(t *testing.T) {
 	}
 }
 
+// TestBroadcastSinkDoesNotPerturbRun is the serving-telemetry
+// acceptance property: attaching a BroadcastSink (composed with a
+// Memory sink, as dimaserve does) — including one with a slow,
+// never-reading subscriber — yields byte-identical Results and
+// RoundStats streams to a nil-sink run, on every engine. The fan-out
+// must never block or reorder the emitting path.
+func TestBroadcastSinkDoesNotPerturbRun(t *testing.T) {
+	for gname, g := range telemetryGraphs(t) {
+		for _, algo := range []string{"edges", "strong"} {
+			for _, eng := range testEngines {
+				name := gname + "/" + algo + "/" + eng.name
+				plainOpt := Options{Seed: 71, Engine: eng.run}
+				var plain *Result
+				if algo == "strong" {
+					plain = mustColorStrong(t, graph.NewSymmetric(g), plainOpt)
+				} else {
+					plain = mustColorEdges(t, g, plainOpt)
+				}
+
+				bcast := metrics.NewBroadcastSink(16)
+				slow := bcast.Subscribe(2) // fills after 2 events, then drops
+				defer slow.Cancel()
+				mem := &metrics.Memory{}
+				opt := Options{Seed: 71, Engine: eng.run, Metrics: metrics.Multi(mem, bcast)}
+				var observed *Result
+				if algo == "strong" {
+					observed = mustColorStrong(t, graph.NewSymmetric(g), opt)
+				} else {
+					observed = mustColorEdges(t, g, opt)
+				}
+
+				if !reflect.DeepEqual(plain, observed) {
+					t.Fatalf("%s: attaching a BroadcastSink changed the Result", name)
+				}
+				// The broadcast published exactly the Memory stream, in order.
+				if int(bcast.Seq()) != len(mem.Rounds) {
+					t.Fatalf("%s: broadcast published %d events for %d rounds",
+						name, bcast.Seq(), len(mem.Rounds))
+				}
+				for i, ev := range bcast.Replay() {
+					rs, ok := ev.Data.(metrics.RoundStats)
+					if !ok || !reflect.DeepEqual(rs, mem.Rounds[int(ev.Seq)-1]) {
+						t.Fatalf("%s: broadcast event %d diverges from the Memory stream", name, i)
+					}
+				}
+				if dropped := bcast.DroppedTotal(); len(mem.Rounds) > 2 && dropped == 0 {
+					t.Fatalf("%s: slow subscriber dropped nothing over %d rounds",
+						name, len(mem.Rounds))
+				}
+			}
+		}
+	}
+}
+
+// TestBroadcastSinkStreamEquivalence: the event stream a BroadcastSink
+// publishes is itself engine-independent — the same seed yields the
+// same (Seq, RoundStats) sequence on every engine.
+func TestBroadcastSinkStreamEquivalence(t *testing.T) {
+	g := telemetryGraphs(t)["er"]
+	for _, algo := range []string{"edges", "strong"} {
+		var ref []metrics.Event
+		for _, eng := range testEngines {
+			bcast := metrics.NewBroadcastSink(0)
+			opt := Options{Seed: 83, Engine: eng.run, Metrics: bcast}
+			if algo == "strong" {
+				mustColorStrong(t, graph.NewSymmetric(g), opt)
+			} else {
+				mustColorEdges(t, g, opt)
+			}
+			events := bcast.Replay()
+			if ref == nil {
+				ref = events
+				continue
+			}
+			if !reflect.DeepEqual(ref, events) {
+				t.Fatalf("%s/%s: broadcast stream diverges from sync engine", algo, eng.name)
+			}
+		}
+	}
+}
+
 // TestMetricsNilSinkUnchanged: enabling metrics must not perturb the
 // run itself — same seed with and without a sink yields the same
 // coloring and traffic (the telemetry draws no randomness).

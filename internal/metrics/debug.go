@@ -3,11 +3,9 @@ package metrics
 import (
 	"context"
 	"fmt"
-	"io"
 	stdnet "net"
 	"net/http"
 	"net/http/pprof"
-	"runtime"
 )
 
 // DebugServer is a running diagnostics endpoint started by
@@ -24,7 +22,8 @@ type DebugServer struct {
 //
 //	/debug/pprof/   the standard net/http/pprof profile index
 //	/metrics        reg's instruments (when non-nil) plus Go runtime
-//	                stats, in the plain-text format of Registry.WriteText
+//	                stats, in the Prometheus text exposition format
+//	                (PromHandler)
 //
 // Exposed so services that already run an HTTP server can mount the
 // same endpoints instead of binding a second port.
@@ -35,15 +34,7 @@ func DebugHandler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if reg != nil {
-			if err := reg.WriteText(w); err != nil {
-				return
-			}
-		}
-		writeRuntimeStats(w)
-	})
+	mux.Handle("/metrics", PromHandler(reg))
 	return mux
 }
 
@@ -87,17 +78,4 @@ func (ds *DebugServer) Shutdown(ctx context.Context) error {
 	err := ds.srv.Shutdown(ctx)
 	<-ds.done
 	return err
-}
-
-// writeRuntimeStats appends the Go runtime gauges every profiling
-// session wants next to the protocol metrics.
-func writeRuntimeStats(w io.Writer) {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
-	fmt.Fprintf(w, "go_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
-	fmt.Fprintf(w, "go_heap_alloc_bytes %d\n", ms.HeapAlloc)
-	fmt.Fprintf(w, "go_heap_objects %d\n", ms.HeapObjects)
-	fmt.Fprintf(w, "go_total_alloc_bytes %d\n", ms.TotalAlloc)
-	fmt.Fprintf(w, "go_num_gc %d\n", ms.NumGC)
 }

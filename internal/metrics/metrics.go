@@ -116,6 +116,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string // optional # HELP text, see prom.go
 }
 
 // NewRegistry returns an empty registry.

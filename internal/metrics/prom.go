@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a Registry:
+// every counter, gauge, and histogram with # HELP / # TYPE metadata,
+// histograms in the native bucket/sum/count shape with cumulative
+// le-labeled buckets. PromHandler is what /metrics serves — replacing
+// the earlier ad-hoc dump — so a stock Prometheus scrape ingests the
+// whole registry without relabeling.
+
+// Help registers help text rendered as the metric's # HELP line. It may
+// be called before or after the instrument exists; unknown names are
+// retained until one does.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = help
+}
+
+// helpFor snapshots the help map.
+func (r *Registry) helpFor() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		h[k] = v
+	}
+	return h
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format, families sorted by name.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	help := r.helpFor()
+
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	kind := make(map[string]string, cap(names))
+	for name := range s.Counters {
+		names = append(names, name)
+		kind[name] = "counter"
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+		kind[name] = "gauge"
+	}
+	for name := range s.Histograms {
+		names = append(names, name)
+		kind[name] = "histogram"
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		if h, ok := help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind[name]); err != nil {
+			return err
+		}
+		var err error
+		switch kind[name] {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name])
+		case "histogram":
+			err = writePromHistogram(w, name, s.Histograms[name])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram family: cumulative buckets
+// (the +Inf bucket equals _count), then _sum and _count.
+func writePromHistogram(w io.Writer, name string, h HistSnapshot) error {
+	cum := int64(0)
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = strconv.FormatInt(h.Bounds[i], 10)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.N)
+	return err
+}
+
+// promContentType is the exposition-format content type Prometheus
+// scrapers negotiate.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromHandler serves reg (plus Go runtime gauges) in the Prometheus
+// text exposition format. Mount it at /metrics; DebugHandler and the
+// dimaserve service mux both do.
+func PromHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", promContentType)
+		if reg != nil {
+			if err := reg.WriteProm(w); err != nil {
+				return
+			}
+		}
+		writePromRuntimeStats(w)
+	})
+}
+
+// writePromRuntimeStats appends the Go runtime gauges every scrape
+// wants next to the protocol metrics, with TYPE metadata.
+func writePromRuntimeStats(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g := func(name string, v uint64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	g("go_goroutines", uint64(runtime.NumGoroutine()))
+	g("go_gomaxprocs", uint64(runtime.GOMAXPROCS(0)))
+	g("go_heap_alloc_bytes", ms.HeapAlloc)
+	g("go_heap_objects", ms.HeapObjects)
+	fmt.Fprintf(w, "# TYPE go_total_alloc_bytes counter\ngo_total_alloc_bytes %d\n", ms.TotalAlloc)
+	fmt.Fprintf(w, "# TYPE go_num_gc counter\ngo_num_gc %d\n", ms.NumGC)
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePromExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total").Add(3)
+	reg.Gauge("queue_depth").Set(2)
+	h := reg.Histogram("latency_usec", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	reg.Help("jobs_total", "Jobs accepted since start.")
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs accepted since start.",
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+		"# TYPE latency_usec histogram",
+		`latency_usec_bucket{le="10"} 1`,
+		`latency_usec_bucket{le="100"} 2`,
+		`latency_usec_bucket{le="+Inf"} 3`,
+		"latency_usec_sum 555",
+		"latency_usec_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE precedes the samples of its family.
+	if strings.Index(out, "# TYPE latency_usec histogram") > strings.Index(out, "latency_usec_bucket") {
+		t.Fatalf("TYPE line after samples:\n%s", out)
+	}
+}
+
+func TestPromHandlerServesRuntimeStats(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total").Inc()
+	rec := httptest.NewRecorder()
+	PromHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q, want the exposition format", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{"x_total 1", "# TYPE go_goroutines gauge", "go_heap_alloc_bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("handler output missing %q:\n%s", want, out)
+		}
+	}
+}

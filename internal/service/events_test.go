@@ -1,0 +1,284 @@
+package service_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dima/internal/metrics"
+	"dima/internal/service"
+)
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	ID    string
+	Event string
+	Data  string
+}
+
+// readSSE consumes an SSE body, appending parsed events to a shared
+// slice until stop returns true (or the stream/context ends). It
+// returns the events read.
+func readSSE(t *testing.T, ctx context.Context, url string, stop func(sseEvent) bool) []sseEvent {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events: content type %q", ct)
+	}
+	var evs []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.Event != "" || cur.Data != "" {
+				evs = append(evs, cur)
+				if stop(cur) {
+					return evs
+				}
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "id: "):
+			cur.ID = line[len("id: "):]
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = line[len("data: "):]
+		}
+	}
+	return evs
+}
+
+// terminalStatus reports whether ev is a status event in a terminal
+// state.
+func terminalStatus(ev sseEvent) bool {
+	if ev.Event != "status" {
+		return false
+	}
+	var st service.JobStatus
+	if json.Unmarshal([]byte(ev.Data), &st) != nil {
+		return false
+	}
+	return st.State == service.StateDone || st.State == service.StateFailed ||
+		st.State == service.StateCanceled
+}
+
+// healthz fetches and decodes /healthz.
+func healthz(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestEventsReplayAfterDone: a subscriber attaching to a finished job
+// sees the whole history — lifecycle statuses and one round event per
+// computation round, in order, ending with the terminal status.
+func TestEventsReplayAfterDone(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"er","n":60,"deg":5,"seed":9},"seed":11}`)
+	fin := waitState(t, ts.URL, st.ID, service.StateDone)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	evs := readSSE(t, ctx, ts.URL+"/jobs/"+st.ID+"/events", terminalStatus)
+
+	var rounds, statuses int
+	lastRound := -1
+	prevID := 0
+	for _, ev := range evs {
+		if ev.ID != "" {
+			var id int
+			fmt.Sscanf(ev.ID, "%d", &id)
+			if id <= prevID {
+				t.Fatalf("SSE ids not increasing: %d after %d", id, prevID)
+			}
+			prevID = id
+		}
+		switch ev.Event {
+		case "round":
+			var rs metrics.RoundStats
+			if err := json.Unmarshal([]byte(ev.Data), &rs); err != nil {
+				t.Fatalf("round event data: %v: %s", err, ev.Data)
+			}
+			if rs.Round != lastRound+1 {
+				t.Fatalf("round %d after %d", rs.Round, lastRound)
+			}
+			lastRound = rs.Round
+			rounds++
+		case "status":
+			statuses++
+		case "dropped":
+			t.Fatalf("dropped marker on an idle replay: %s", ev.Data)
+		}
+	}
+	if rounds != fin.Result.Rounds {
+		t.Fatalf("replayed %d round events, run took %d rounds", rounds, fin.Result.Rounds)
+	}
+	// queued, running, done at minimum.
+	if statuses < 3 {
+		t.Fatalf("replayed %d status events, want >= 3", statuses)
+	}
+	if !terminalStatus(evs[len(evs)-1]) {
+		t.Fatalf("stream did not end on the terminal status: %+v", evs[len(evs)-1])
+	}
+}
+
+// TestEventsLiveFollowsRun: a subscriber attached while the job is
+// still running receives the terminal status live, without polling.
+func TestEventsLiveFollowsRun(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	svc := service.New(service.Config{Workers: 1, Runner: blockingRunner(started, release)})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"path","n":4},"seed":1}`)
+	<-started
+
+	done := make(chan []sseEvent, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() {
+		done <- readSSE(t, ctx, ts.URL+"/jobs/"+st.ID+"/events", terminalStatus)
+	}()
+	// Give the subscriber a beat to attach, then let the job finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	evs := <-done
+	if len(evs) == 0 || !terminalStatus(evs[len(evs)-1]) {
+		t.Fatalf("live stream missed the terminal status: %+v", evs)
+	}
+}
+
+// TestEventsDisconnectReleasesSubscription: closing the client
+// connection mid-stream must unregister the subscriber (observable via
+// the serve_event_subscribers gauge surfaced in /healthz).
+func TestEventsDisconnectReleasesSubscription(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	svc := service.New(service.Config{Workers: 1, Runner: blockingRunner(started, release)})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"path","n":4},"seed":1}`)
+	<-started // job parked: the stream stays open until we disconnect
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		readSSE(t, ctx, ts.URL+"/jobs/"+st.ID+"/events", func(sseEvent) bool { return false })
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n, _ := healthz(t, ts.URL)["eventSubscribers"].(float64); n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel() // client disconnects mid-stream
+	wg.Wait()
+	for {
+		if n, _ := healthz(t, ts.URL)["eventSubscribers"].(float64); n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("disconnect did not release the subscription")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEventsCarryMutationReports: mutation batches applied to a dynamic
+// job appear on the same stream as the run's telemetry.
+func TestEventsCarryMutationReports(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"er","n":40,"deg":4,"seed":3},"seed":7}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+
+	resp, err := http.Post(ts.URL+"/jobs/"+st.ID+"/mutate", "application/x-ndjson",
+		strings.NewReader(`{"seq":1,"muts":[{"op":"+","u":0,"v":39}]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	evs := readSSE(t, ctx, ts.URL+"/jobs/"+st.ID+"/events",
+		func(ev sseEvent) bool { return ev.Event == "mutation" })
+	last := evs[len(evs)-1]
+	if last.Event != "mutation" {
+		t.Fatalf("no mutation event on the stream: %+v", evs)
+	}
+	var mr service.MutateResponse
+	if err := json.Unmarshal([]byte(last.Data), &mr); err != nil {
+		t.Fatalf("mutation event data: %v: %s", err, last.Data)
+	}
+	if mr.Seq != 1 || !mr.Applied {
+		t.Fatalf("mutation event %+v, want applied seq 1", mr)
+	}
+}
+
+func TestEventsUnknownJob404(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events for unknown job: %d, want 404", resp.StatusCode)
+	}
+}

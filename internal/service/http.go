@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -20,12 +21,16 @@ import (
 //	GET    /jobs/{id}         one job's status
 //	GET    /jobs/{id}/result  the coloring (done or canceled jobs)
 //	GET    /jobs/{id}/stats   per-round telemetry as JSON Lines
+//	GET    /jobs/{id}/events  live Server-Sent-Events stream: status
+//	                          transitions, per-round stats, mutation
+//	                          reports (events.go)
 //	POST   /jobs/{id}/mutate  stream mutation batches into a finished
 //	                          edge-coloring job (incremental repair)
 //	POST   /jobs/{id}/cancel  request cancellation (also DELETE /jobs/{id})
-//	GET    /healthz           liveness, queue depth, configuration
+//	GET    /healthz           liveness, queue depth, workers, uptime
 //
-// With Config.Registry set, /metrics and /debug/pprof/ are mounted too.
+// With Config.Registry set, /metrics (Prometheus text exposition) and
+// /debug/pprof/ are mounted too.
 
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -34,14 +39,14 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /jobs/{id}/mutate", s.handleMutate)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.Registry != nil {
-		dh := metrics.DebugHandler(s.cfg.Registry)
-		mux.Handle("GET /metrics", dh)
-		mux.Handle("GET /debug/pprof/", dh)
+		mux.Handle("GET /metrics", metrics.PromHandler(s.cfg.Registry))
+		mux.Handle("GET /debug/pprof/", metrics.DebugHandler(s.cfg.Registry))
 	}
 	return mux
 }
@@ -145,7 +150,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Jittered Retry-After so a synchronized client burst spreads
+		// its retries instead of stampeding the queue again in unison.
+		w.Header().Set("Retry-After", strconv.Itoa(1+rand.IntN(3)))
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrClosed):
@@ -275,13 +282,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 	}
 	depth := len(s.queue)
+	jobs := len(s.jobs)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       status,
-		"queued":       depth,
-		"queueSize":    s.cfg.QueueSize,
-		"workers":      s.cfg.Workers,
-		"shardWorkers": s.defaultShardWorkers(),
+		"status":    status,
+		"queued":    depth,
+		"queueSize": s.cfg.QueueSize,
+		// running is the number of busy workers right now; workers is
+		// the pool size, so running == workers means saturation.
+		"running":          s.running.Value(),
+		"workers":          s.cfg.Workers,
+		"shardWorkers":     s.defaultShardWorkers(),
+		"jobs":             jobs,
+		"eventSubscribers": s.eventSubs.Value(),
+		"uptimeSeconds":    time.Since(s.started).Seconds(),
+		"startedAt":        s.started,
 	})
 }
 

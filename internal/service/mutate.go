@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
+	"time"
 
 	"dima/internal/core"
 	"dima/internal/dynamic"
 	"dima/internal/graphio"
+	"dima/internal/metrics"
 	"dima/internal/msg"
 	"dima/internal/net"
 	"dima/internal/verify"
@@ -181,7 +183,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	applyOne := func(b *msg.MutationBatch) {
 		resp := MutateResponse{Seq: b.Seq}
+		repairStart := time.Now()
 		rep, err := rec.ApplyCtx(r.Context(), b)
+		s.repairTime.Observe(time.Since(repairStart).Microseconds())
 		if err != nil {
 			s.mutRejected.Inc()
 			resp.Error = err.Error()
@@ -214,6 +218,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			j.mutMaxColor = resp.MaxColor
 			j.mu.Unlock()
 		}
+		// Rejected batches are broadcast too: a watcher should see the
+		// stream stall's cause, not just silence.
+		j.bcast.Publish(metrics.EventMutation, resp)
 		_ = enc.Encode(resp)
 		if flusher != nil {
 			flusher.Flush()

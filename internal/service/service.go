@@ -106,6 +106,13 @@ type job struct {
 	errMsg    string
 	stats     *metrics.Memory
 
+	// bcast is the job's live event stream (GET /jobs/{id}/events):
+	// status transitions, per-round RoundStats, and mutation-repair
+	// reports fan out to SSE subscribers through it. It is created at
+	// submit time and never blocks a publisher — slow subscribers drop
+	// events with a counted marker (metrics.BroadcastSink).
+	bcast *metrics.BroadcastSink
+
 	// Dynamic recoloring state (POST /jobs/{id}/mutate). rec is created
 	// lazily on the first mutate call and guarded by recMu, which also
 	// serializes concurrent mutation streams; the mut* summary fields are
@@ -139,10 +146,25 @@ type Server struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	started time.Time // server start, for /healthz uptime
+
 	// Instruments (registered on cfg.Registry when present).
 	submitted, rejected, done, failed, canceled *metrics.Counter
 	queued, running                             *metrics.Gauge
 	mutBatches, mutRejected, mutRepaired        *metrics.Counter
+	eventsDropped                               *metrics.Counter
+	eventSubs                                   *metrics.Gauge
+	queueWait, runTime, repairTime              *metrics.Histogram
+}
+
+// latencyBucketsUsec are the bucket bounds, in microseconds, shared by
+// the service latency histograms: 50µs to 10s, roughly logarithmic —
+// wide enough for queue waits under backpressure, fine enough to place
+// the µs-scale dynamic repairs.
+var latencyBucketsUsec = []int64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+	250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
 }
 
 // New builds a Server and starts its worker pool.
@@ -165,6 +187,7 @@ func New(cfg Config) *Server {
 		runner:    cfg.Runner,
 		jobs:      map[string]*job{},
 		queue:     make(chan *job, cfg.QueueSize),
+		started:   time.Now(),
 		submitted: reg.Counter("serve_jobs_submitted_total"),
 		rejected:  reg.Counter("serve_jobs_rejected_total"),
 		done:      reg.Counter("serve_jobs_done_total"),
@@ -176,7 +199,14 @@ func New(cfg Config) *Server {
 		mutBatches:  reg.Counter("serve_mutate_batches_total"),
 		mutRejected: reg.Counter("serve_mutate_batches_rejected_total"),
 		mutRepaired: reg.Counter("serve_mutate_edges_repaired_total"),
+
+		eventsDropped: reg.Counter("serve_events_dropped_total"),
+		eventSubs:     reg.Gauge("serve_event_subscribers"),
+		queueWait:     reg.Histogram("serve_queue_wait_usec", latencyBucketsUsec...),
+		runTime:       reg.Histogram("serve_run_usec", latencyBucketsUsec...),
+		repairTime:    reg.Histogram("serve_mutate_repair_usec", latencyBucketsUsec...),
 	}
+	describeMetrics(reg)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if s.runner == nil {
 		s.runner = shardRunner(cfg.ShardWorkers)
@@ -187,6 +217,30 @@ func New(cfg Config) *Server {
 		go s.worker()
 	}
 	return s
+}
+
+// describeMetrics attaches # HELP text to every service-level
+// instrument; docs/OBSERVABILITY.md carries the same inventory.
+func describeMetrics(reg *metrics.Registry) {
+	for name, help := range map[string]string{
+		"serve_jobs_submitted_total":          "Jobs accepted into the queue since start.",
+		"serve_jobs_rejected_total":           "Submissions bounced with 429 because the queue was full.",
+		"serve_jobs_done_total":               "Jobs finished with a complete coloring.",
+		"serve_jobs_failed_total":             "Jobs finished with a runner error.",
+		"serve_jobs_canceled_total":           "Jobs canceled while queued or aborted mid-run.",
+		"serve_jobs_queued":                   "Jobs currently waiting for a worker.",
+		"serve_jobs_running":                  "Jobs currently being colored (busy workers).",
+		"serve_mutate_batches_total":          "Mutation batches applied across all jobs.",
+		"serve_mutate_batches_rejected_total": "Mutation batches rejected atomically (validation failure).",
+		"serve_mutate_edges_repaired_total":   "Frontier edges recolored by incremental repair.",
+		"serve_events_dropped_total":          "Job-stream events dropped for slow SSE subscribers.",
+		"serve_event_subscribers":             "Live SSE subscriptions across all jobs.",
+		"serve_queue_wait_usec":               "Microseconds jobs spent queued before a worker picked them up.",
+		"serve_run_usec":                      "Microseconds of wall clock per coloring run.",
+		"serve_mutate_repair_usec":            "Microseconds per mutation batch spent in incremental repair.",
+	} {
+		reg.Help(name, help)
+	}
 }
 
 // shardRunner is the production runner: the shard engine under the
@@ -224,7 +278,9 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 		state:     StateQueued,
 		submitted: time.Now(),
 		stats:     &metrics.Memory{},
+		bcast:     metrics.NewBroadcastSink(eventLogKeep),
 	}
+	j.bcast.SetDropCounter(s.eventsDropped)
 	select {
 	case s.queue <- j:
 	default:
@@ -236,8 +292,18 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 	s.order = append(s.order, j.id)
 	s.submitted.Inc()
 	s.queued.Add(1)
+	j.publishStatus()
 	return j, nil
 }
+
+// eventLogKeep bounds each job's retained event log for SSE replay: a
+// run's full RoundStats stream plus a generous tail of mutation
+// reports. A long-lived dynamic job can outgrow it; late subscribers
+// then see a dropped marker before the retained suffix.
+const eventLogKeep = 4096
+
+// publishStatus broadcasts the job's current status snapshot.
+func (j *job) publishStatus() { j.bcast.Publish(metrics.EventStatus, j.status()) }
 
 // ErrQueueFull and ErrClosed are submit's rejection reasons.
 var (
@@ -279,22 +345,27 @@ func (s *Server) runJob(j *job) {
 	j.state = StateRunning
 	j.cancel = cancel
 	j.started = time.Now()
-	sink := j.stats
+	// The run's RoundStats go to the job record (for /stats) and to the
+	// live event stream; the broadcast never blocks the emitting worker.
+	sink := metrics.Multi(j.stats, j.bcast)
 	req := j.req
 	if s.cfg.MaxRounds > 0 && (req.MaxRounds <= 0 || req.MaxRounds > s.cfg.MaxRounds) {
 		req.MaxRounds = s.cfg.MaxRounds
 	}
+	wait := j.started.Sub(j.submitted)
 	j.mu.Unlock()
+	s.queueWait.Observe(wait.Microseconds())
 	s.running.Add(1)
+	j.publishStatus()
 
 	res, err := s.runner(ctx, req, sink)
 	cancel()
 
 	s.running.Add(-1)
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.cancel = nil
 	j.finished = time.Now()
+	s.runTime.Observe(j.finished.Sub(j.started).Microseconds())
 	switch {
 	case err != nil:
 		j.state = StateFailed
@@ -311,6 +382,10 @@ func (s *Server) runJob(j *job) {
 		j.res = res
 		s.done.Inc()
 	}
+	j.mu.Unlock()
+	// Terminal status is published after the round stream, so an SSE
+	// subscriber that sees it knows the per-round records precede it.
+	j.publishStatus()
 }
 
 // cancelJob requests cancellation: a queued job finishes immediately, a
@@ -319,19 +394,26 @@ func (s *Server) runJob(j *job) {
 // state observed after the request.
 func (s *Server) cancelJob(j *job) State {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	switch j.state {
+	state := j.state
+	canceledQueued := false
+	switch state {
 	case StateQueued:
 		// The worker that eventually pops it sees the state and skips.
 		j.state = StateCanceled
 		j.finished = time.Now()
 		s.canceled.Inc()
+		state = j.state
+		canceledQueued = true
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
-	return j.state
+	j.mu.Unlock()
+	if canceledQueued {
+		j.publishStatus()
+	}
+	return state
 }
 
 // Shutdown stops accepting submissions and waits for the queue and all

@@ -1,0 +1,181 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"dima/internal/metrics"
+	"dima/internal/service"
+)
+
+// TestStatsOrderingUnderConcurrentJobs: with several jobs running
+// concurrently on a multi-worker pool, each job's JSONL stats stream
+// must still be its own run's rounds, strictly ordered 0..k-1 — no
+// interleaving across jobs, no reordering within one.
+func TestStatsOrderingUnderConcurrentJobs(t *testing.T) {
+	svc := service.New(service.Config{Workers: 4, QueueSize: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	const jobs = 8
+	ids := make([]string, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := submit(t, ts.URL, fmt.Sprintf(
+				`{"gen":{"family":"er","n":50,"deg":5,"seed":%d},"seed":%d}`, i+1, i+100))
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		fin := waitState(t, ts.URL, id, service.StateDone)
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := readAll(t, resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %d stats: %d", i, resp.StatusCode)
+		}
+		lines := strings.Split(strings.TrimSpace(raw), "\n")
+		if len(lines) != fin.Result.Rounds {
+			t.Fatalf("job %d: %d stats lines for %d rounds", i, len(lines), fin.Result.Rounds)
+		}
+		total := 0
+		for k, line := range lines {
+			var rs metrics.RoundStats
+			if err := json.Unmarshal([]byte(line), &rs); err != nil {
+				t.Fatalf("job %d line %d: %v", i, k, err)
+			}
+			if rs.Round != k {
+				t.Fatalf("job %d: line %d carries round %d (stream out of order)", i, k, rs.Round)
+			}
+			total = rs.ColoredTotal
+		}
+		if total != fin.Result.Items {
+			t.Fatalf("job %d: final ColoredTotal %d != %d items", i, total, fin.Result.Items)
+		}
+	}
+}
+
+// TestHealthzReportsLoadAndUptime: /healthz must expose queue depth,
+// busy workers, and uptime — the bare-200 liveness of earlier PRs is
+// not enough to steer a load balancer.
+func TestHealthzReportsLoadAndUptime(t *testing.T) {
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	svc := service.New(service.Config{Workers: 1, QueueSize: 4, Runner: blockingRunner(started, release)})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	submit(t, ts.URL, `{"gen":{"family":"path","n":4},"seed":1}`)
+	<-started // one running
+	submit(t, ts.URL, `{"gen":{"family":"path","n":4},"seed":2}`)
+
+	h := healthz(t, ts.URL)
+	if h["status"] != "ok" {
+		t.Fatalf("status %v", h["status"])
+	}
+	if q, _ := h["queued"].(float64); q != 1 {
+		t.Fatalf("queued %v, want 1", h["queued"])
+	}
+	if r, _ := h["running"].(float64); r != 1 {
+		t.Fatalf("running %v, want 1", h["running"])
+	}
+	if w, _ := h["workers"].(float64); w != 1 {
+		t.Fatalf("workers %v, want 1", h["workers"])
+	}
+	if up, ok := h["uptimeSeconds"].(float64); !ok || up < 0 {
+		t.Fatalf("uptimeSeconds %v", h["uptimeSeconds"])
+	}
+	if j, _ := h["jobs"].(float64); j != 2 {
+		t.Fatalf("jobs %v, want 2", h["jobs"])
+	}
+	close(release)
+}
+
+// TestRetryAfterJitter: the 429 Retry-After must be a small positive
+// integer and must vary across rejections, so a synchronized burst of
+// clients does not come back in one stampede.
+func TestRetryAfterJitter(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	svc := service.New(service.Config{Workers: 1, QueueSize: 1, Runner: blockingRunner(started, release)})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	spec := `{"gen":{"family":"path","n":4},"seed":%d}`
+	submit(t, ts.URL, fmt.Sprintf(spec, 1))
+	<-started
+	submit(t, ts.URL, fmt.Sprintf(spec, 2)) // fills the queue
+
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		resp, raw := postJSON(t, ts.URL+"/jobs", fmt.Sprintf(spec, 100+i))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("want 429, got %d: %s", resp.StatusCode, raw)
+		}
+		ra := resp.Header.Get("Retry-After")
+		sec, err := strconv.Atoi(ra)
+		if err != nil || sec < 1 || sec > 10 {
+			t.Fatalf("Retry-After %q, want a small positive integer", ra)
+		}
+		seen[sec] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("Retry-After never varied across 64 rejections: %v", seen)
+	}
+}
+
+// TestMetricsExposesLatencyHistograms: after a job completes, the
+// Prometheus exposition carries the service latency histograms with
+// observations, in the proper histogram shape.
+func TestMetricsExposesLatencyHistograms(t *testing.T) {
+	reg := metrics.NewRegistry()
+	svc := service.New(service.Config{Workers: 1, Registry: reg})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"er","n":40,"deg":4,"seed":1},"seed":1}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q, want the exposition format", ct)
+	}
+	for _, want := range []string{
+		"# TYPE serve_queue_wait_usec histogram",
+		"serve_queue_wait_usec_count 1",
+		"# TYPE serve_run_usec histogram",
+		"serve_run_usec_count 1",
+		"# TYPE serve_jobs_submitted_total counter",
+		"serve_jobs_submitted_total 1",
+		`serve_run_usec_bucket{le="+Inf"} 1`,
+		"# HELP serve_queue_wait_usec",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}

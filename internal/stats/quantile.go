@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile estimates one quantile of a stream in O(1) memory with the
+// P² algorithm (Jain & Chlamtac, CACM 1985): five markers track the
+// minimum, the target quantile, the quantiles halfway to each end, and
+// the maximum, adjusted after every observation by a piecewise-
+// parabolic interpolation. dimaload uses it for p50/p95/p99 so a long
+// load run never retains its samples; Percentile remains the exact
+// reference and the two are cross-checked in quantile_test.go.
+//
+// The zero value is not usable; construct with NewP2Quantile. Not safe
+// for concurrent use.
+type P2Quantile struct {
+	p   float64
+	n   int        // observations seen
+	q   [5]float64 // marker heights
+	pos [5]float64 // actual marker positions (1-based ranks)
+	des [5]float64 // desired marker positions
+	inc [5]float64 // desired-position increments per observation
+}
+
+// NewP2Quantile returns an estimator for the p-th quantile, 0 < p < 1.
+func NewP2Quantile(p float64) *P2Quantile {
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("stats: P2Quantile wants 0 < p < 1, got %v", p))
+	}
+	return &P2Quantile{p: p}
+}
+
+// P returns the target quantile.
+func (e *P2Quantile) P() float64 { return e.p }
+
+// N returns the number of observations.
+func (e *P2Quantile) N() int { return e.n }
+
+// Add feeds one observation.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			p := e.p
+			e.pos = [5]float64{1, 2, 3, 4, 5}
+			e.des = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+
+	// Locate the cell k with q[k] <= x < q[k+1], extending the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.des {
+		e.des[i] += e.inc[i]
+	}
+	e.n++
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.des[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := math.Copysign(1, d)
+			qs := e.parabolic(i, s)
+			if !(e.q[i-1] < qs && qs < e.q[i+1]) {
+				qs = e.linear(i, s)
+			}
+			e.q[i] = qs
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker update.
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback update when the parabola overshoots a
+// neighboring marker.
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current estimate: exact (via Percentile over the
+// buffered observations) for fewer than five samples, the P² center
+// marker afterwards. An empty estimator yields NaN, matching
+// Percentile's empty-sample convention.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		buf := append([]float64(nil), e.q[:e.n]...)
+		sort.Float64s(buf)
+		return Percentile(buf, e.p)
+	}
+	return e.q[2]
+}
+
+// Min and Max return the extreme markers, which are exact.
+func (e *P2Quantile) Min() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		m := e.q[0]
+		for _, v := range e.q[1:e.n] {
+			m = math.Min(m, v)
+		}
+		return m
+	}
+	return e.q[0]
+}
+
+func (e *P2Quantile) Max() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		m := e.q[0]
+		for _, v := range e.q[1:e.n] {
+			m = math.Max(m, v)
+		}
+		return m
+	}
+	return e.q[4]
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"dima/internal/rng"
+)
+
+// p2Distributions generates deterministic sample streams with shapes a
+// latency distribution might take: uniform, heavy-tailed (exp-like via
+// inverse transform), and bimodal (fast path + slow path).
+func p2Distributions(n int) map[string][]float64 {
+	out := make(map[string][]float64)
+
+	r := rng.New(41)
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 100 * r.Float64()
+	}
+	out["uniform"] = u
+
+	r = rng.New(43)
+	ex := make([]float64, n)
+	for i := range ex {
+		ex[i] = -10 * math.Log(1-r.Float64()+1e-12)
+	}
+	out["exponential"] = ex
+
+	r = rng.New(47)
+	bi := make([]float64, n)
+	for i := range bi {
+		if r.Float64() < 0.8 {
+			bi[i] = 1 + r.Float64() // fast path ~1-2ms
+		} else {
+			bi[i] = 50 + 20*r.Float64() // slow path ~50-70ms
+		}
+	}
+	out["bimodal"] = bi
+	return out
+}
+
+// TestP2CrossChecksExactPercentile: the fixed-memory estimate must land
+// inside a small rank band around the exact percentile — the estimator
+// is allowed to be off by a little probability mass, never by a
+// misplaced mode.
+func TestP2CrossChecksExactPercentile(t *testing.T) {
+	const n = 20000
+	bands := map[float64]float64{0.5: 0.02, 0.95: 0.015, 0.99: 0.008}
+	for name, xs := range p2Distributions(n) {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for p, band := range bands {
+			est := NewP2Quantile(p)
+			for _, x := range xs {
+				est.Add(x)
+			}
+			got := est.Value()
+			lo := Percentile(sorted, p-band)
+			hi := Percentile(sorted, p+band)
+			if got < lo || got > hi {
+				t.Errorf("%s p%.0f: estimate %.4f outside exact band [%.4f, %.4f] (exact %.4f)",
+					name, p*100, got, lo, hi, Percentile(sorted, p))
+			}
+		}
+	}
+}
+
+// Below five samples the estimator is exact by construction.
+func TestP2SmallSamplesExact(t *testing.T) {
+	xs := []float64{9, 1, 7, 3}
+	for k := 1; k <= len(xs); k++ {
+		est := NewP2Quantile(0.5)
+		for _, x := range xs[:k] {
+			est.Add(x)
+		}
+		sorted := append([]float64(nil), xs[:k]...)
+		sort.Float64s(sorted)
+		want := Percentile(sorted, 0.5)
+		if got := est.Value(); got != want {
+			t.Fatalf("n=%d: Value %v, want exact %v", k, got, want)
+		}
+		if est.N() != k {
+			t.Fatalf("n=%d: N() = %d", k, est.N())
+		}
+	}
+}
+
+func TestP2EmptyAndExtremes(t *testing.T) {
+	est := NewP2Quantile(0.99)
+	if !math.IsNaN(est.Value()) || !math.IsNaN(est.Min()) || !math.IsNaN(est.Max()) {
+		t.Fatal("empty estimator must yield NaN")
+	}
+	r := rng.New(53)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()*200 - 100
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+		est.Add(x)
+	}
+	if est.Min() != lo || est.Max() != hi {
+		t.Fatalf("extreme markers %v/%v, want exact %v/%v", est.Min(), est.Max(), lo, hi)
+	}
+	if v := est.Value(); v < lo || v > hi {
+		t.Fatalf("estimate %v outside the observed range", v)
+	}
+}
+
+// A constant stream must estimate the constant exactly at any p.
+func TestP2ConstantStream(t *testing.T) {
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		est := NewP2Quantile(p)
+		for i := 0; i < 100; i++ {
+			est.Add(7.25)
+		}
+		if got := est.Value(); got != 7.25 {
+			t.Fatalf("p%v over a constant stream: %v", p, got)
+		}
+	}
+}
+
+func TestP2RejectsBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}

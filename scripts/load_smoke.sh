@@ -1,0 +1,64 @@
+#!/bin/sh
+# load_smoke.sh — boot dimaserve, drive a short dimaload burst against
+# it, and gate on the SLO verdict: zero error-budget violations and a
+# non-empty Prometheus scrape. CI runs this as the load-smoke job and
+# uploads the BENCH_PR6.json it produces. Uses only POSIX sh and curl.
+set -eu
+
+ADDR="${DIMASERVE_ADDR:-127.0.0.1:18218}"
+BASE="http://$ADDR"
+DURATION="${LOAD_SMOKE_DURATION:-10s}"
+CLIENTS="${LOAD_SMOKE_CLIENTS:-8}"
+OUT="${LOAD_SMOKE_OUT:-BENCH_PR6.json}"
+BINDIR="$(mktemp -d)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+say() { echo "load-smoke: $*"; }
+die() { say "FAIL: $*"; exit 1; }
+
+go build -o "$BINDIR/dimaserve" ./cmd/dimaserve
+go build -o "$BINDIR/dimaload" ./cmd/dimaload
+
+"$BINDIR/dimaserve" -addr "$ADDR" -workers 4 -queue 64 &
+SERVER_PID=$!
+
+say "waiting for $BASE/healthz"
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && die "server did not come up"
+    sleep 0.2
+done
+
+# The burst: dimaload exits nonzero on any error-budget violation, so a
+# plain failure here fails the smoke.
+say "driving $CLIENTS clients for $DURATION"
+"$BINDIR/dimaload" -url "$BASE" -clients "$CLIENTS" -duration "$DURATION" \
+    -max-error-rate 0 -out "$OUT" || die "dimaload reported SLO violations"
+[ -s "$OUT" ] || die "no report written to $OUT"
+
+# The scrape: the exposition must be non-empty and carry the service
+# latency histograms the burst just exercised.
+SCRAPE="$(mktemp)"
+curl -sf "$BASE/metrics" >"$SCRAPE" || die "/metrics not scrapeable"
+[ -s "$SCRAPE" ] || die "/metrics scrape is empty"
+for want in \
+    'serve_jobs_submitted_total' \
+    'serve_run_usec_bucket' \
+    'serve_queue_wait_usec_count' \
+    'serve_mutate_repair_usec_count' \
+    'go_goroutines'; do
+    grep -q "$want" "$SCRAPE" || die "/metrics missing $want"
+done
+grep '^serve_jobs_submitted_total ' "$SCRAPE" | grep -qv ' 0$' \
+    || die "burst left serve_jobs_submitted_total at zero"
+
+kill -TERM "$SERVER_PID"
+i=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "server did not drain after SIGTERM"
+    sleep 0.2
+done
+trap - EXIT
+say "PASS ($(grep -c . "$SCRAPE") exposition lines, report in $OUT)"
