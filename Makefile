@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke load-smoke
+.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke load-smoke soak-smoke
 
 all: build
 
@@ -47,5 +47,12 @@ dynamic-smoke:
 # (docs/OBSERVABILITY.md). Writes BENCH_PR6.json.
 load-smoke:
 	sh scripts/load_smoke.sh
+
+# Churn soak smoke: ~10^4 mutations of temporal workloads through the
+# dynamic recolorer with maintenance on; epoch invariants (palette cap,
+# hole ratio, validity) and replay determinism are asserted inside the
+# sweep (docs/PERFORMANCE.md). Writes BENCH_PR7.ci.json.
+soak-smoke:
+	sh scripts/soak_smoke.sh
 
 check: build vet fmt-check test race

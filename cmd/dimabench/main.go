@@ -73,7 +73,7 @@ func figures() []figure {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, dynamic, or all")
+		exp      = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, dynamic, soak, or all")
 		scale    = flag.Float64("scale", 1.0, "fraction of the paper's 50 repetitions per cell (for -exp scale: graph-size multiplier)")
 		seed     = flag.Uint64("seed", 2012, "master seed")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); for -exp scale: shard engine worker count")
@@ -304,6 +304,12 @@ func main() {
 		anyRan = true
 		runDynamic(*seed, *scale, *workers, *benchOut)
 	}
+	// The soak sweep is explicit-only too: at scale 1 it streams a
+	// million-plus mutations (and replays them all for determinism).
+	if selected["soak"] {
+		anyRan = true
+		runSoak(*seed, *scale, *workers, *benchOut)
+	}
 	if runAll || selected["faults"] {
 		anyRan = true
 		start := time.Now()
@@ -322,7 +328,7 @@ func main() {
 		fmt.Println()
 	}
 	if !anyRan {
-		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, dynamic, or all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, dynamic, soak, or all)", *exp))
 	}
 }
 
@@ -419,6 +425,59 @@ func runDynamic(seed uint64, scale float64, workers int, benchOut string) {
 			fatal(err)
 		}
 		if err := experiment.WriteDynamicReport(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", benchOut)
+	}
+	fmt.Println()
+}
+
+// runSoak executes the long-run churn soak (docs/PERFORMANCE.md): each
+// temporal workload streams its mutation budget through a recolorer
+// with auto-maintenance on, sampling palette/id-space/latency/heap per
+// epoch and hard-asserting the boundedness invariants, then replays for
+// determinism (-bench-out BENCH_PR7.json is the committed baseline).
+func runSoak(seed uint64, scale float64, workers int, benchOut string) {
+	cfg := experiment.DefaultSoakConfig(seed, scale)
+	cfg.Workers = workers
+	fmt.Println("== soak — long-run churn: palette, id-space, latency, and heap flatness under maintenance")
+	fmt.Printf("   er n=%d avg-deg=%g, %d mutations/arm in batches of %d, arms %v, %d epochs\n\n",
+		cfg.N, cfg.AvgDeg, cfg.Mutations, cfg.BatchSize, cfg.Workloads, cfg.Epochs)
+	t := stats.NewTable("workload", "epoch", "muts", "m", "idBound", "delta",
+		"colors", "maxColor", "p50us", "p99us", "passes", "heapMB")
+	start := time.Now()
+	rep, err := experiment.SoakSweep(cfg, func(w string, ep experiment.SoakEpoch) {
+		t.AddRow(w, ep.Epoch, ep.Mutations, ep.M, ep.EdgeIDBound, ep.Delta,
+			ep.Colors, ep.MaxColor, fmt.Sprintf("%.0f", ep.P50US),
+			fmt.Sprintf("%.0f", ep.P99US), ep.MaintainPasses,
+			fmt.Sprintf("%.1f", float64(ep.HeapBytes)/(1<<20)))
+		fmt.Fprintf(os.Stderr, "dimabench: soak %s epoch %d/%d (%d mutations)\n",
+			w, ep.Epoch+1, cfg.Epochs, ep.Mutations)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(t.String())
+	for _, arm := range rep.Arms {
+		last := arm.Epochs[len(arm.Epochs)-1]
+		fmt.Printf("%s: %d mutations in %.0fms, %d maintenance passes (%d compactions, %d rebalances), deterministic=%v\n",
+			arm.Workload, arm.Mutations, arm.WallMS,
+			last.MaintainPasses, last.Compactions, last.Rebalances, arm.Deterministic)
+	}
+	fmt.Printf("total %d mutations in %v; deterministic=%v\n",
+		rep.TotalMutations, time.Since(start).Round(time.Millisecond), rep.Deterministic)
+	if !rep.Deterministic {
+		fatal(fmt.Errorf("soak sweep: replay diverged from the sampled run"))
+	}
+	if benchOut != "" {
+		f, err := os.Create(benchOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiment.WriteSoakReport(f, rep); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

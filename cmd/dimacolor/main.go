@@ -7,6 +7,7 @@
 //	dimacolor -in er.graph -strong -engine chan -json out.json
 //	dimacolor -in small.graph -trace
 //	dimacolor -in er.graph -mutate edits.txt -json mutated.json
+//	dimacolor -in er.graph -mutate edits.txt -maintain
 //
 // By default it runs Algorithm 1 (edge coloring); -strong runs
 // Algorithm 2 (DiMa2Ed strong distance-2 coloring) on the symmetric
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +52,7 @@ func main() {
 		dropP    = flag.Float64("drop", 0, "drop each message delivery with this probability (0 = reliable)")
 		recover  = flag.Bool("recover", false, "enable the loss-recovery layer (docs/ROBUSTNESS.md)")
 		mutate   = flag.String("mutate", "", "after the run, apply this text mutation list (+ u v / - u v) and repair the coloring incrementally (docs/DYNAMIC.md)")
+		maintain = flag.Bool("maintain", false, "after -mutate, run a forced maintenance pass (edge-id compaction + palette rebalance) and report it")
 
 		metricsOut = flag.String("metrics-out", "", "write per-round telemetry as JSON Lines to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace (Perfetto-compatible) of the automaton timelines to this file")
@@ -107,6 +110,9 @@ func main() {
 	}
 	if *mutate != "" && (*strong || *algo != "dima" || *reps > 1) {
 		usage(fmt.Errorf("-mutate requires -algo dima without -strong or -reps"))
+	}
+	if *maintain && *mutate == "" {
+		usage(fmt.Errorf("-maintain requires -mutate: maintenance acts on the mutated coloring"))
 	}
 
 	g, err := readGraph(*in)
@@ -296,6 +302,28 @@ func main() {
 			mrep.RepairedEdges, mrep.RepairRounds, mrep.RegionSize, mrep.RegionEdges)
 		fmt.Printf("mutated: m=%d colors=%d maxColor=%d\n",
 			mrec.Graph().M(), mrec.NumColors(), mrec.MaxColor())
+
+		// -maintain: a forced pass, so a one-shot CLI run always shows the
+		// compaction and rebalance outcome instead of depending on whether
+		// this particular edit list tripped an automatic trigger.
+		if *maintain {
+			pre := mrec.Graph().EdgeIDBound()
+			srep, err := mrec.Maintain(context.Background(),
+				dynamic.MaintainOptions{Force: true})
+			if err != nil {
+				fatal(err)
+			}
+			if !*noVerify {
+				if v := verify.EdgeColoring(mrec.Graph(), mrec.Colors()); len(v) != 0 {
+					fatal(fmt.Errorf("maintained coloring failed verification: %v", v[0]))
+				}
+			}
+			fmt.Printf("maintain: compacted=%v holes=%d (idBound %d -> %d) rebalanced=%v evicted=%d (greedy=%d repair=%d fallback=%d)\n",
+				srep.Compacted, srep.HolesReclaimed, pre, srep.EdgeIDBound,
+				srep.Rebalanced, srep.Evicted, srep.GreedyMoved, srep.RepairMoved, srep.FallbackMoved)
+			fmt.Printf("maintained: m=%d colors=%d maxColor=%d target=%d (2Δ−1, Δ=%d)\n",
+				mrec.Graph().M(), mrec.NumColors(), mrec.MaxColor(), srep.Target, srep.Delta)
+		}
 	}
 
 	if *showTr {

@@ -21,11 +21,15 @@
 //     view containing only the frontier edges, constrained by the
 //     colors already present around it.
 //
-// The palette-growth caveat: when insertions raise Δ, the default cap
-// 2Δ−1 grows with it, and repairs may introduce colors the original
-// run never used. A fixed Options.Palette keeps the palette bounded at
-// the cost of longer repairs — and must be at least 2Δ−1 for the worst
-// incremental case to stay feasible (docs/DYNAMIC.md).
+// Sustained churn degrades two things repairs alone never reclaim:
+// delete-heavy stretches leave edge-id holes (EdgeIDBound grows past
+// the live count) and palette colors that nothing wears anymore, while
+// insertion spikes push the 2Δ−1 cap — and with it the colors repairs
+// hand out — above what the post-spike graph needs. Maintain is the
+// counterpart: an explicit (or auto-triggered, Options.Maintain)
+// maintenance pass that compacts the id space in place and rebalances
+// the palette back under 2Δ−1 for the *current* Δ, deterministically
+// (docs/DYNAMIC.md).
 package dynamic
 
 import (
@@ -61,6 +65,13 @@ type Options struct {
 	// ones; cold-run results are already verified by their engines, so
 	// this is off by default.
 	Strict bool
+	// Maintain, when non-nil, auto-triggers a maintenance pass
+	// (compaction + palette rebalance, see Maintain) after any Apply
+	// whose post-batch state trips the policy's thresholds. Nil — the
+	// zero value — runs no maintenance and leaves the per-batch seed
+	// derivation untouched, so pre-maintenance streams replay
+	// byte-identically.
+	Maintain *MaintainOptions
 }
 
 // Report describes the work one Apply call did.
@@ -88,8 +99,13 @@ type Report struct {
 	// the coloring is still complete and valid (the fallback finished
 	// the frontier), but locality/palette quality may have degraded.
 	Aborted bool
-	// NumColors and MaxColor describe the palette after the batch.
+	// NumColors and MaxColor describe the palette after the batch
+	// (after any auto-triggered maintenance pass).
 	NumColors, MaxColor int
+	// Maintenance carries the auto-triggered maintenance pass's report
+	// when Options.Maintain is set and a threshold tripped; nil
+	// otherwise.
+	Maintenance *MaintainReport
 }
 
 // Recolorer owns a graph and its coloring and keeps the coloring valid
@@ -97,9 +113,17 @@ type Report struct {
 type Recolorer struct {
 	g      *graph.Graph
 	colors []int // indexed by graph.EdgeID; -1 at removal holes
-	count  map[int]int
-	opt    Options
-	batch  uint64 // batches applied; salts per-batch repair seeds
+	// Palette accounting, O(1) per mutation: count[c] is the number of
+	// live edges wearing color c, used the number of distinct colors in
+	// use, maxColor the largest (-1 when none). maxColor walks down
+	// lazily when its class empties, amortized against the setColor
+	// that raised it.
+	count    []int
+	used     int
+	maxColor int
+	opt      Options
+	batch    uint64 // batches applied; salts per-batch repair seeds
+	passes   uint64 // maintenance passes run; salts per-pass seeds
 }
 
 // New wraps g and colors (indexed by graph.EdgeID, so len(colors) ==
@@ -111,10 +135,10 @@ func New(g *graph.Graph, colors []int, opt Options) (*Recolorer, error) {
 		return nil, fmt.Errorf("dynamic: %d colors for %d edge ids", len(colors), g.EdgeIDBound())
 	}
 	rc := &Recolorer{
-		g:      g,
-		colors: colors,
-		count:  make(map[int]int),
-		opt:    opt,
+		g:        g,
+		colors:   colors,
+		maxColor: -1,
+		opt:      opt,
 	}
 	for id, c := range colors {
 		if !g.Live(graph.EdgeID(id)) {
@@ -123,7 +147,7 @@ func New(g *graph.Graph, colors []int, opt Options) (*Recolorer, error) {
 		if c < 0 {
 			return nil, fmt.Errorf("dynamic: edge %v uncolored", g.EdgeAt(graph.EdgeID(id)))
 		}
-		rc.count[c]++
+		rc.addColor(c)
 	}
 	if opt.Strict {
 		if err := rc.check(); err != nil {
@@ -133,7 +157,9 @@ func New(g *graph.Graph, colors []int, opt Options) (*Recolorer, error) {
 	return rc, nil
 }
 
-// check verifies the coloring is proper; used by Strict and tests.
+// check verifies the coloring is proper and the O(1) palette census
+// (count/used/maxColor) matches a from-scratch rebuild; used by Strict
+// and tests.
 func (rc *Recolorer) check() error {
 	for u := 0; u < rc.g.N(); u++ {
 		var seen core.ColorSet
@@ -148,6 +174,33 @@ func (rc *Recolorer) check() error {
 			seen.Add(c)
 		}
 	}
+	want := make([]int, len(rc.count))
+	used, maxColor := 0, -1
+	for id := 0; id < rc.g.EdgeIDBound(); id++ {
+		c := rc.colors[id]
+		if !rc.g.Live(graph.EdgeID(id)) || c < 0 {
+			continue
+		}
+		if c >= len(want) {
+			return fmt.Errorf("dynamic: color %d beyond census length %d", c, len(want))
+		}
+		if want[c] == 0 {
+			used++
+		}
+		want[c]++
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	for c, n := range want {
+		if rc.count[c] != n {
+			return fmt.Errorf("dynamic: census count[%d] = %d, want %d", c, rc.count[c], n)
+		}
+	}
+	if rc.used != used || rc.maxColor != maxColor {
+		return fmt.Errorf("dynamic: census used/max = %d/%d, want %d/%d",
+			rc.used, rc.maxColor, used, maxColor)
+	}
 	return nil
 }
 
@@ -159,18 +212,12 @@ func (rc *Recolorer) Graph() *graph.Graph { return rc.g }
 func (rc *Recolorer) Colors() []int { return rc.colors }
 
 // NumColors returns the number of distinct colors currently in use.
-func (rc *Recolorer) NumColors() int { return len(rc.count) }
+// Freed colors leave the census immediately, so a delete-only batch is
+// reflected here, not just insertions.
+func (rc *Recolorer) NumColors() int { return rc.used }
 
 // MaxColor returns the largest color currently in use, or -1.
-func (rc *Recolorer) MaxColor() int {
-	m := -1
-	for c := range rc.count {
-		if c > m {
-			m = c
-		}
-	}
-	return m
-}
+func (rc *Recolorer) MaxColor() int { return rc.maxColor }
 
 // Compacted returns an independent dense copy of the current state:
 // a graph without removal holes and its coloring re-indexed to match.
@@ -257,17 +304,39 @@ func (rc *Recolorer) ApplyCtx(ctx context.Context, b *msg.MutationBatch) (*Repor
 		}
 	}
 	if len(frontier) > 0 {
-		if err := rc.repairFrontier(ctx, frontier, rep); err != nil {
+		seed := rng.Mix64(rc.opt.Seed ^ rng.Mix64(rc.batch+1))
+		out, err := rc.repairFrontier(ctx, frontier, seed)
+		if err != nil {
 			return nil, err
 		}
+		rep.RegionSize = out.regionSize
+		rep.RegionEdges = out.regionEdges
+		rep.RepairRounds = out.rounds
+		rep.RepairedEdges = out.repaired
+		rep.FallbackEdges = out.fallback
+		rep.Aborted = out.aborted
 	}
 	rc.batch++
+	if rc.opt.Maintain != nil {
+		mrep, err := rc.maintain(ctx, *rc.opt.Maintain, false)
+		if err != nil {
+			return nil, err
+		}
+		if mrep != nil {
+			rep.Maintenance = mrep
+			rep.Aborted = rep.Aborted || mrep.Aborted
+		}
+	}
 	rep.NumColors = rc.NumColors()
 	rep.MaxColor = rc.MaxColor()
 	return rep, nil
 }
 
-// paletteCap returns the active cap for the greedy fast path.
+// paletteCap returns the active cap for the greedy fast path. The
+// automatic cap is 2Δ−1 under the graph's *current* maximum degree —
+// an O(1) read of the incrementally tracked Δ — so delete-heavy
+// batches shrink the cap immediately and the fast path stops handing
+// out colors the thinned graph no longer needs.
 func (rc *Recolorer) paletteCap() int {
 	if rc.opt.Palette > 0 {
 		return rc.opt.Palette
@@ -291,7 +360,20 @@ func (rc *Recolorer) usedAt(u int) *core.ColorSet {
 
 func (rc *Recolorer) setColor(id graph.EdgeID, c int) {
 	rc.colors[id] = c
+	rc.addColor(c)
+}
+
+func (rc *Recolorer) addColor(c int) {
+	for len(rc.count) <= c {
+		rc.count = append(rc.count, 0)
+	}
+	if rc.count[c] == 0 {
+		rc.used++
+	}
 	rc.count[c]++
+	if c > rc.maxColor {
+		rc.maxColor = c
+	}
 }
 
 func (rc *Recolorer) dropColor(c int) {
@@ -300,8 +382,23 @@ func (rc *Recolorer) dropColor(c int) {
 	}
 	rc.count[c]--
 	if rc.count[c] == 0 {
-		delete(rc.count, c)
+		rc.used--
+		for rc.maxColor >= 0 && rc.count[rc.maxColor] == 0 {
+			rc.maxColor--
+		}
 	}
+}
+
+// repairOutcome summarizes one constrained automaton run over an
+// uncolored frontier, for both batch repairs and maintenance
+// rebalances to fold into their own reports.
+type repairOutcome struct {
+	regionSize  int
+	regionEdges int
+	rounds      int
+	repaired    int
+	fallback    int
+	aborted     bool
 }
 
 // repairFrontier runs the matching automaton on the sub-network view
@@ -312,8 +409,9 @@ func (rc *Recolorer) dropColor(c int) {
 // is exactly the one-hop knowledge the vertex would have accumulated
 // from its neighbors' exchange broadcasts, so the automaton behaves as
 // if it were resuming the original run with the rest of the coloring
-// frozen.
-func (rc *Recolorer) repairFrontier(ctx context.Context, frontier []graph.EdgeID, rep *Report) error {
+// frozen. The caller supplies the run seed (batch repairs and
+// maintenance passes derive theirs from disjoint salt streams).
+func (rc *Recolorer) repairFrontier(ctx context.Context, frontier []graph.EdgeID, seed uint64) (repairOutcome, error) {
 	// Dense vertex ids for the region, in frontier order.
 	toSub := make(map[int]int)
 	var toFull []int
@@ -344,7 +442,7 @@ func (rc *Recolorer) repairFrontier(ctx context.Context, frontier []graph.EdgeID
 	}
 
 	opt := rc.opt.Repair
-	opt.Seed = rng.Mix64(rc.opt.Seed ^ rng.Mix64(rc.batch+1))
+	opt.Seed = seed
 	opt.Metrics = nil
 	if opt.MaxCompRounds <= 0 {
 		// O(Δ_sub + palette headroom) rounds cover the automaton's
@@ -354,16 +452,18 @@ func (rc *Recolorer) repairFrontier(ctx context.Context, frontier []graph.EdgeID
 	}
 	res, err := core.ColorEdgesConstrained(ctx, sub, forbidden, opt)
 	if err != nil {
-		return fmt.Errorf("dynamic: frontier repair: %v", err)
+		return repairOutcome{}, fmt.Errorf("dynamic: frontier repair: %v", err)
 	}
-	rep.RegionSize = sub.N()
-	rep.RegionEdges = sub.M()
-	rep.RepairRounds = res.CompRounds
-	rep.Aborted = res.Aborted
+	out := repairOutcome{
+		regionSize:  sub.N(),
+		regionEdges: sub.M(),
+		rounds:      res.CompRounds,
+		aborted:     res.Aborted,
+	}
 	for sid, c := range res.Colors {
 		if c >= 0 {
 			rc.setColor(subEdge[sid], c)
-			rep.RepairedEdges++
+			out.repaired++
 		}
 	}
 	// Guaranteed completion: any edge the bounded (or canceled) run left
@@ -375,9 +475,9 @@ func (rc *Recolorer) repairFrontier(ctx context.Context, frontier []graph.EdgeID
 			id := subEdge[sid]
 			e := rc.g.EdgeAt(id)
 			rc.setColor(id, core.LowestFree(rc.usedAt(e.U), rc.usedAt(e.V)))
-			rep.RepairedEdges++
-			rep.FallbackEdges++
+			out.repaired++
+			out.fallback++
 		}
 	}
-	return nil
+	return out, nil
 }

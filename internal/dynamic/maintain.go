@@ -1,0 +1,244 @@
+package dynamic
+
+import (
+	"context"
+	"time"
+
+	"dima/internal/core"
+	"dima/internal/graph"
+	"dima/internal/rng"
+)
+
+// Maintenance is the long-run counterpart to Apply's per-batch repairs.
+// Repairs keep the coloring *valid* under churn, but two resources
+// degrade monotonically without help:
+//
+//   - Edge-id holes. Delete-heavy stretches grow EdgeIDBound past the
+//     live edge count; every id-indexed structure (the coloring, the
+//     graph's edge table) then carries dead weight forever.
+//   - The palette. Insertion spikes raise Δ and with it the 2Δ−1 cap;
+//     when the spike drains away, the stranded top colors — often worn
+//     by a handful of edges each — keep NumColors and MaxColor pinned
+//     at the historical high-water mark.
+//
+// A maintenance pass fixes both: it compacts the id space in place
+// (remapping the coloring through the graph's Compact id map, without
+// invalidating the live graph handle) and migrates the edges wearing
+// rare over-target colors back under 2Δ−1 for the *current* Δ — the
+// "steal from rare colors" recoloring of the augmenting-fan literature,
+// realized here as a constrained greedy sweep with the matching
+// automaton as the tier-2 finisher, exactly like a batch repair.
+//
+// Determinism: pass k of a recolorer derives its repair seed from
+// (Options.Seed, k) on a salt stream disjoint from the per-batch
+// stream, so a fixed seed plus a fixed mutation stream plus a fixed
+// maintenance policy replays byte-identically — and a recolorer that
+// never maintains is byte-identical to one built before maintenance
+// existed.
+
+// maintainSalt separates per-pass repair seeds from per-batch ones.
+const maintainSalt = 0x6d61696e7461696e // "maintain"
+
+// MaintainOptions is the maintenance trigger policy and rebalance goal.
+// The zero value is a sane default policy: compact when the id space is
+// half again the live count, rebalance whenever the palette exceeds
+// 2Δ−1 under the current Δ.
+type MaintainOptions struct {
+	// HoleRatio triggers compaction when EdgeIDBound > HoleRatio ×
+	// live edges. 0 means 1.5. Values ≤ 1 compact whenever any hole
+	// exists.
+	HoleRatio float64
+	// PaletteSlack triggers a rebalance when the palette spills more
+	// than this many colors over the target; 0 rebalances on any
+	// excess.
+	PaletteSlack int
+	// TargetColors is the rebalance goal. 0 means 2Δ−1 under the
+	// graph's current maximum degree — the paper's hard bound. Tighter
+	// explicit targets make the greedy tier fail more often and push
+	// work to the automaton; the guaranteed completion still bounds the
+	// result by 2Δ−1.
+	TargetColors int
+	// Force runs both passes regardless of the triggers.
+	Force bool
+}
+
+// holeRatioOrDefault resolves the compaction threshold.
+func (mo MaintainOptions) holeRatioOrDefault() float64 {
+	if mo.HoleRatio <= 0 {
+		return 1.5
+	}
+	return mo.HoleRatio
+}
+
+// MaintainReport describes one maintenance pass.
+type MaintainReport struct {
+	// Pass is the 1-based maintenance pass index; it salts the pass's
+	// repair seed.
+	Pass int `json:"pass"`
+	// Delta is the graph's maximum degree at pass time; Target the
+	// rebalance goal derived from it (or TargetColors).
+	Delta  int `json:"delta"`
+	Target int `json:"target"`
+	// Compacted reports an id-space compaction; HolesReclaimed the ids
+	// it freed; EdgeIDBound the post-pass id-space size (== live edges
+	// after a compaction).
+	Compacted      bool `json:"compacted"`
+	HolesReclaimed int  `json:"holesReclaimed,omitempty"`
+	EdgeIDBound    int  `json:"edgeIDBound"`
+	// Rebalanced reports a palette rebalance; Evicted the edges taken
+	// off over-target colors, split by how they were re-placed (greedy
+	// under the target, automaton repair, guaranteed 2Δ−1 fallback).
+	Rebalanced    bool `json:"rebalanced"`
+	Evicted       int  `json:"evicted,omitempty"`
+	GreedyMoved   int  `json:"greedyMoved,omitempty"`
+	RepairMoved   int  `json:"repairMoved,omitempty"`
+	FallbackMoved int  `json:"fallbackMoved,omitempty"`
+	RepairRounds  int  `json:"repairRounds,omitempty"`
+	// Palette before/after the pass.
+	ColorsBefore   int `json:"colorsBefore"`
+	ColorsAfter    int `json:"colorsAfter"`
+	MaxColorBefore int `json:"maxColorBefore"`
+	MaxColorAfter  int `json:"maxColorAfter"`
+	// Aborted reports the context was canceled during the rebalance's
+	// automaton run; the coloring is still complete and valid (the
+	// fallback finished), but some evicted edges may sit above the
+	// target.
+	Aborted bool `json:"aborted,omitempty"`
+	// DurationUS is the pass's wall clock in microseconds (telemetry
+	// only; every other field is deterministic).
+	DurationUS int64 `json:"durationUS"`
+}
+
+// NeedMaintain evaluates the trigger policy against the current state
+// without running anything: compact reports the id space over the hole
+// threshold, rebalance the palette over the target.
+func (rc *Recolorer) NeedMaintain(mo MaintainOptions) (compact, rebalance bool) {
+	live := rc.g.M()
+	if live < 1 {
+		live = 1
+	}
+	bound := rc.g.EdgeIDBound()
+	compact = bound > rc.g.M() && float64(bound) > mo.holeRatioOrDefault()*float64(live)
+	target := rc.rebalanceTarget(mo)
+	rebalance = rc.maxColor+1 > target+mo.PaletteSlack
+	return compact, rebalance
+}
+
+// rebalanceTarget resolves the rebalance goal for the current graph.
+func (rc *Recolorer) rebalanceTarget(mo MaintainOptions) int {
+	if mo.TargetColors > 0 {
+		return mo.TargetColors
+	}
+	target := 2*rc.g.MaxDegree() - 1
+	if target < 1 {
+		target = 1
+	}
+	return target
+}
+
+// Maintain runs one maintenance pass under the given policy: an
+// id-space compaction and/or a palette rebalance, each gated by its
+// trigger unless mo.Force is set. It returns nil when neither trigger
+// trips (nothing ran, nothing changed). Cancellation interrupts only
+// the rebalance's automaton runs; the pass still completes through the
+// greedy fallback with the report's Aborted flag set — validity is
+// never traded away.
+func (rc *Recolorer) Maintain(ctx context.Context, mo MaintainOptions) (*MaintainReport, error) {
+	return rc.maintain(ctx, mo, mo.Force)
+}
+
+// maintain is Maintain with the force decision already made (the
+// auto-trigger path never forces).
+func (rc *Recolorer) maintain(ctx context.Context, mo MaintainOptions, force bool) (*MaintainReport, error) {
+	doCompact, doRebalance := rc.NeedMaintain(mo)
+	if force || mo.Force {
+		doCompact, doRebalance = true, true
+	}
+	if !doCompact && !doRebalance {
+		return nil, nil
+	}
+	start := time.Now()
+	rc.passes++
+	rep := &MaintainReport{
+		Pass:           int(rc.passes),
+		Delta:          rc.g.MaxDegree(),
+		Target:         rc.rebalanceTarget(mo),
+		ColorsBefore:   rc.used,
+		MaxColorBefore: rc.maxColor,
+	}
+
+	if doCompact {
+		before := rc.g.EdgeIDBound()
+		if ids := rc.g.Compact(); ids != nil {
+			colors := make([]int, len(ids))
+			for newID, oldID := range ids {
+				colors[newID] = rc.colors[oldID]
+			}
+			rc.colors = colors
+			rep.Compacted = true
+			rep.HolesReclaimed = before - len(ids)
+		}
+	}
+
+	if doRebalance {
+		if err := rc.rebalance(ctx, rep); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.EdgeIDBound = rc.g.EdgeIDBound()
+	rep.ColorsAfter = rc.used
+	rep.MaxColorAfter = rc.maxColor
+	rep.DurationUS = time.Since(start).Microseconds()
+	return rep, nil
+}
+
+// rebalance migrates every live edge wearing a color ≥ the target off
+// it: the over-target classes are evicted in ascending edge-id order
+// (deterministic), then re-placed greedily with the lowest color free
+// at both endpoints under the target. With the default target 2Δ−1
+// the greedy tier cannot fail — each endpoint blocks at most Δ−1
+// colors — so the pass is a pure local sweep; under a tighter explicit
+// target the failures form a frontier handed to the constrained
+// matching automaton, and anything it leaves behind is finished by the
+// guaranteed 2Δ−1 completion, exactly as in a batch repair.
+func (rc *Recolorer) rebalance(ctx context.Context, rep *MaintainReport) error {
+	target := rep.Target
+	var evicted []graph.EdgeID
+	for id := 0; id < rc.g.EdgeIDBound(); id++ {
+		if rc.g.Live(graph.EdgeID(id)) && rc.colors[id] >= target {
+			evicted = append(evicted, graph.EdgeID(id))
+		}
+	}
+	rep.Rebalanced = true
+	if len(evicted) == 0 {
+		return nil
+	}
+	rep.Evicted = len(evicted)
+	for _, id := range evicted {
+		rc.dropColor(rc.colors[id])
+		rc.colors[id] = -1
+	}
+	var frontier []graph.EdgeID
+	for _, id := range evicted {
+		e := rc.g.EdgeAt(id)
+		if c := core.LowestFree(rc.usedAt(e.U), rc.usedAt(e.V)); c < target {
+			rc.setColor(id, c)
+			rep.GreedyMoved++
+		} else {
+			frontier = append(frontier, id)
+		}
+	}
+	if len(frontier) > 0 {
+		seed := rng.Mix64(rc.opt.Seed ^ rng.Mix64(rc.passes) ^ maintainSalt)
+		out, err := rc.repairFrontier(ctx, frontier, seed)
+		if err != nil {
+			return err
+		}
+		rep.RepairMoved = out.repaired - out.fallback
+		rep.FallbackMoved = out.fallback
+		rep.RepairRounds = out.rounds
+		rep.Aborted = out.aborted
+	}
+	return nil
+}

@@ -1,0 +1,415 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dima/internal/core"
+	"dima/internal/dynamic"
+	"dima/internal/gen"
+	"dima/internal/net"
+	"dima/internal/rng"
+	"dima/internal/stats"
+	"dima/internal/verify"
+)
+
+// The soak sweep is the long-run health check the dynamic sweep is not:
+// where BENCH_PR5 measures how fast one batch repairs, BENCH_PR7
+// measures whether a recolorer is still *flat* a million mutations
+// later. Each arm streams one temporal workload (sliding-window expiry,
+// flash-crowd hotspots, preferential growth) through a recolorer with
+// auto-maintenance on, sampling palette size, id-space size, live
+// edges, per-batch repair latency (P² quantiles), and heap bytes at
+// every epoch, and hard-asserting the two boundedness invariants
+// maintenance exists to provide:
+//
+//   - palette ≤ 2Δ−1 for the *current* Δ at every epoch boundary, and
+//   - EdgeIDBound ≤ HoleRatio × live edges (plus one batch of slack)
+//     always — id holes never accumulate past the policy line.
+//
+// Every epoch-boundary coloring is verified valid, and each arm is
+// replayed from scratch to confirm the whole trajectory — not just the
+// final coloring — is a pure function of the seed.
+
+// SoakConfig configures SoakSweep. DefaultSoakConfig fills the baseline
+// protocol.
+type SoakConfig struct {
+	// Seed determines the instances, the cold runs, the mutation
+	// streams, and every repair and maintenance pass.
+	Seed uint64
+	// N is each instance's vertex count; AvgDeg its Erdős–Rényi average
+	// degree.
+	N      int
+	AvgDeg float64
+	// Workloads are the arms to run: "window", "flash", "growth".
+	Workloads []string
+	// Mutations is the per-arm mutation budget; BatchSize the mutations
+	// per batch; Epochs the number of sampling rows per arm.
+	Mutations int
+	BatchSize int
+	Epochs    int
+	// Workers is the shard engine's worker count (0 = GOMAXPROCS).
+	Workers int
+	// HoleRatio and PaletteSlack are the recolorer's auto-maintenance
+	// policy (dynamic.MaintainOptions); zero values take its defaults.
+	HoleRatio    float64
+	PaletteSlack int
+	// SkipVerify disables the per-epoch O(m) validity check (the
+	// baseline protocol verifies every epoch).
+	SkipVerify bool
+	// SkipReplay disables the determinism replay, halving the runtime.
+	SkipReplay bool
+}
+
+// DefaultSoakConfig returns the baseline protocol scaled by scale: three
+// arms of 350k mutations each (1.05M total at scale 1) on 20k-vertex
+// instances, batches of 100, 20 epochs per arm.
+func DefaultSoakConfig(seed uint64, scale float64) SoakConfig {
+	n := int(20_000 * scale)
+	if n < 300 {
+		n = 300
+	}
+	muts := int(350_000 * scale)
+	if muts < 2_000 {
+		muts = 2_000
+	}
+	return SoakConfig{
+		Seed:      seed,
+		N:         n,
+		AvgDeg:    8,
+		Workloads: []string{"window", "flash", "growth"},
+		Mutations: muts,
+		BatchSize: 100,
+		Epochs:    20,
+	}
+}
+
+// SoakEpoch is one sampling row: state at an epoch boundary plus the
+// epoch's latency quantiles. Mutation and maintenance counters are
+// cumulative over the arm; quantiles are per-epoch (a fresh P²
+// estimator each epoch, so late-run drift cannot hide in early-run
+// samples).
+type SoakEpoch struct {
+	Epoch     int `json:"epoch"`
+	Mutations int `json:"mutations"`
+	Batches   int `json:"batches"`
+	// Graph and id-space state.
+	M           int `json:"m"`
+	EdgeIDBound int `json:"edgeIDBound"`
+	Delta       int `json:"delta"`
+	// Palette state.
+	Colors   int `json:"colors"`
+	MaxColor int `json:"maxColor"`
+	// Per-batch Apply wall clock within this epoch, microseconds.
+	P50US float64 `json:"p50us"`
+	P99US float64 `json:"p99us"`
+	// Live heap after a forced GC at the boundary.
+	HeapBytes uint64 `json:"heapBytes"`
+	// Maintenance counters (cumulative).
+	MaintainPasses int `json:"maintainPasses"`
+	Compactions    int `json:"compactions"`
+	Rebalances     int `json:"rebalances"`
+	// Verified reports the boundary coloring passed full validation
+	// (false only under SkipVerify; an invalid coloring aborts the arm).
+	Verified bool `json:"verified"`
+}
+
+// SoakArm is one workload's full trajectory.
+type SoakArm struct {
+	Workload string `json:"workload"`
+	// Cold-start state.
+	N       int `json:"n"`
+	M0      int `json:"m0"`
+	Delta0  int `json:"delta0"`
+	Colors0 int `json:"colors0"`
+	// Totals.
+	Mutations int     `json:"mutations"`
+	WallMS    float64 `json:"wallMS"`
+	// Deterministic reports the replay reproduced the identical epoch
+	// trajectory and final coloring (true trivially under SkipReplay).
+	Deterministic bool        `json:"deterministic"`
+	Epochs        []SoakEpoch `json:"epochs"`
+}
+
+// SoakReport is the sweep's persistable outcome (BENCH_PR7.json).
+type SoakReport struct {
+	Seed         uint64  `json:"seed"`
+	N            int     `json:"n"`
+	AvgDeg       float64 `json:"avgDeg"`
+	BatchSize    int     `json:"batchSize"`
+	EpochsPerArm int     `json:"epochsPerArm"`
+	HoleRatio    float64 `json:"holeRatio"`
+	PaletteSlack int     `json:"paletteSlack"`
+	Workers      int     `json:"workers,omitempty"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"numCPU"`
+	GoVersion    string  `json:"goVersion"`
+	// TotalMutations across all arms; Deterministic is the AND of the
+	// arms' replay verdicts.
+	TotalMutations int       `json:"totalMutations"`
+	Deterministic  bool      `json:"deterministic"`
+	Arms           []SoakArm `json:"arms"`
+}
+
+// SoakSweep runs the soak benchmark.
+func SoakSweep(cfg SoakConfig, progress func(workload string, ep SoakEpoch)) (*SoakReport, error) {
+	return SoakSweepCtx(context.Background(), cfg, progress)
+}
+
+// SoakSweepCtx is SoakSweep bounded by ctx.
+func SoakSweepCtx(ctx context.Context, cfg SoakConfig, progress func(workload string, ep SoakEpoch)) (*SoakReport, error) {
+	if cfg.AvgDeg <= 0 || cfg.N < 2 {
+		return nil, fmt.Errorf("experiment: soak needs n ≥ 2 and a positive average degree")
+	}
+	if cfg.BatchSize < 1 || cfg.Epochs < 1 || cfg.Mutations < cfg.Epochs {
+		return nil, fmt.Errorf("experiment: soak needs batchSize ≥ 1 and mutations ≥ epochs ≥ 1")
+	}
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("experiment: soak needs at least one workload arm")
+	}
+	rep := &SoakReport{
+		Seed:          cfg.Seed,
+		N:             cfg.N,
+		AvgDeg:        cfg.AvgDeg,
+		BatchSize:     cfg.BatchSize,
+		EpochsPerArm:  cfg.Epochs,
+		HoleRatio:     cfg.HoleRatio,
+		PaletteSlack:  cfg.PaletteSlack,
+		Workers:       cfg.Workers,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
+		Deterministic: true,
+	}
+	for idx, w := range cfg.Workloads {
+		arm, err := soakArm(ctx, cfg, w, idx, progress)
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.SkipReplay {
+			replay, err := soakArm(ctx, cfg, w, idx, nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: soak %s replay: %v", w, err)
+			}
+			arm.Deterministic = sameTrajectory(arm, replay)
+		} else {
+			arm.Deterministic = true
+		}
+		rep.Deterministic = rep.Deterministic && arm.Deterministic
+		rep.TotalMutations += arm.Mutations
+		rep.Arms = append(rep.Arms, *arm)
+	}
+	return rep, nil
+}
+
+// soakSource builds the workload's mutation source, sized so the
+// workload's natural cycle is about one epoch long.
+func soakSource(name string, r *rng.Rand, m0, batchesPerEpoch int) (gen.MutationSource, error) {
+	switch name {
+	case "window":
+		lo, hi := m0/2, m0+m0/2
+		if lo < 1 {
+			lo = 1
+		}
+		return gen.NewSlidingWindow(r, lo, hi)
+	case "flash":
+		cycle := batchesPerEpoch
+		if cycle < 5 {
+			cycle = 5
+		}
+		ramp := cycle * 2 / 5
+		decay := cycle * 2 / 5
+		hold := cycle - ramp - decay
+		return gen.NewFlashCrowd(r, ramp, hold, decay)
+	case "growth":
+		return gen.NewPreferentialGrowth(r), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown soak workload %q (want window, flash, growth)", name)
+	}
+}
+
+// soakArm runs one workload arm. Everything it does is a pure function
+// of (cfg, name, idx), which is what the replay pass exploits.
+func soakArm(ctx context.Context, cfg SoakConfig, name string, idx int, progress func(string, SoakEpoch)) (*SoakArm, error) {
+	armSeed := rng.Mix64(cfg.Seed ^ rng.Mix64(uint64(idx)+1))
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(armSeed), cfg.N, cfg.AvgDeg)
+	if err != nil {
+		return nil, err
+	}
+	copt := core.Options{Seed: armSeed, Engine: net.RunShard, Workers: cfg.Workers}
+	cold, err := core.ColorEdgesCtx(ctx, g, copt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: soak %s cold run: %v", name, err)
+	}
+	if cold.Aborted {
+		return nil, fmt.Errorf("experiment: soak %s cold run: %w", name, ctx.Err())
+	}
+	if !cold.Terminated {
+		return nil, fmt.Errorf("experiment: soak %s cold run truncated", name)
+	}
+	rc, err := dynamic.New(g, cold.Colors, dynamic.Options{
+		Seed:   armSeed,
+		Repair: copt,
+		Maintain: &dynamic.MaintainOptions{
+			HoleRatio:    cfg.HoleRatio,
+			PaletteSlack: cfg.PaletteSlack,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	arm := &SoakArm{
+		Workload: name,
+		N:        g.N(),
+		M0:       g.M(),
+		Delta0:   g.MaxDegree(),
+		Colors0:  cold.NumColors,
+	}
+	batchesPerEpoch := (cfg.Mutations + cfg.Epochs*cfg.BatchSize - 1) / (cfg.Epochs * cfg.BatchSize)
+	src, err := soakSource(name, rng.New(rng.Mix64(armSeed^0x736f616b)), g.M(), batchesPerEpoch)
+	if err != nil {
+		return nil, err
+	}
+
+	epochTarget := cfg.Mutations / cfg.Epochs
+	applied, batches, stalls := 0, 0, 0
+	passes, compactions, rebalances := 0, 0, 0
+	start := time.Now()
+	for e := 0; e < cfg.Epochs; e++ {
+		goal := (e + 1) * epochTarget
+		if e == cfg.Epochs-1 {
+			goal = cfg.Mutations
+		}
+		p50 := stats.NewP2Quantile(0.50)
+		p99 := stats.NewP2Quantile(0.99)
+		for applied < goal {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiment: soak %s epoch %d: %w", name, e, err)
+			}
+			b := src.NextBatch(rc.Graph(), cfg.BatchSize)
+			if len(b.Muts) == 0 {
+				if stalls++; stalls > 1000 {
+					return nil, fmt.Errorf("experiment: soak %s stalled: source dry after %d mutations", name, applied)
+				}
+				continue
+			}
+			stalls = 0
+			t0 := time.Now()
+			r, err := rc.ApplyCtx(ctx, b)
+			us := float64(time.Since(t0).Microseconds())
+			if err != nil {
+				return nil, fmt.Errorf("experiment: soak %s batch %d: %v", name, batches, err)
+			}
+			p50.Add(us)
+			p99.Add(us)
+			applied += len(b.Muts)
+			batches++
+			if r.Maintenance != nil {
+				passes++
+				if r.Maintenance.Compacted {
+					compactions++
+				}
+				if r.Maintenance.Rebalanced {
+					rebalances++
+				}
+			}
+		}
+		ep, err := soakBoundary(cfg, rc, name, e)
+		if err != nil {
+			return nil, err
+		}
+		ep.Mutations = applied
+		ep.Batches = batches
+		ep.P50US = p50.Value()
+		ep.P99US = p99.Value()
+		ep.MaintainPasses = passes
+		ep.Compactions = compactions
+		ep.Rebalances = rebalances
+		arm.Epochs = append(arm.Epochs, *ep)
+		if progress != nil {
+			progress(name, *ep)
+		}
+	}
+	arm.Mutations = applied
+	arm.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	return arm, nil
+}
+
+// soakBoundary samples and hard-asserts the epoch-boundary state.
+func soakBoundary(cfg SoakConfig, rc *dynamic.Recolorer, name string, e int) (*SoakEpoch, error) {
+	g := rc.Graph()
+	ep := &SoakEpoch{
+		Epoch:       e,
+		M:           g.M(),
+		EdgeIDBound: g.EdgeIDBound(),
+		Delta:       g.MaxDegree(),
+		Colors:      rc.NumColors(),
+		MaxColor:    rc.MaxColor(),
+	}
+	// The boundedness invariants maintenance guarantees. Auto passes run
+	// after every batch, so they must hold at every boundary exactly —
+	// modulo one batch of slack on the hole side (a pass compacts only
+	// when the trigger trips, and the trigger allows HoleRatio × live).
+	cap := 2*ep.Delta - 1
+	if cap < 1 {
+		cap = 1
+	}
+	if ep.MaxColor+1 > cap+cfg.PaletteSlack {
+		return nil, fmt.Errorf("experiment: soak %s epoch %d: palette max %d over 2Δ−1+slack = %d (Δ=%d)",
+			name, e, ep.MaxColor, cap+cfg.PaletteSlack, ep.Delta)
+	}
+	ratio := cfg.HoleRatio
+	if ratio <= 0 {
+		ratio = 1.5
+	}
+	live := ep.M
+	if live < 1 {
+		live = 1
+	}
+	if float64(ep.EdgeIDBound) > ratio*float64(live)+float64(2*cfg.BatchSize) {
+		return nil, fmt.Errorf("experiment: soak %s epoch %d: id bound %d over %.1f×%d live",
+			name, e, ep.EdgeIDBound, ratio, ep.M)
+	}
+	if !cfg.SkipVerify {
+		if v := verify.EdgeColoring(g, rc.Colors()); len(v) != 0 {
+			return nil, fmt.Errorf("experiment: soak %s epoch %d: invalid coloring: %v", name, e, v[0])
+		}
+		ep.Verified = true
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ep.HeapBytes = ms.HeapAlloc
+	return ep, nil
+}
+
+// sameTrajectory compares the deterministic fields of two arm runs —
+// the state trajectory, not the timing/heap telemetry.
+func sameTrajectory(a, b *SoakArm) bool {
+	if a.M0 != b.M0 || a.Delta0 != b.Delta0 || a.Colors0 != b.Colors0 ||
+		a.Mutations != b.Mutations || len(a.Epochs) != len(b.Epochs) {
+		return false
+	}
+	for i := range a.Epochs {
+		x, y := a.Epochs[i], b.Epochs[i]
+		if x.Mutations != y.Mutations || x.Batches != y.Batches ||
+			x.M != y.M || x.EdgeIDBound != y.EdgeIDBound || x.Delta != y.Delta ||
+			x.Colors != y.Colors || x.MaxColor != y.MaxColor ||
+			x.MaintainPasses != y.MaintainPasses ||
+			x.Compactions != y.Compactions || x.Rebalances != y.Rebalances {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteSoakReport writes the report as indented JSON.
+func WriteSoakReport(w io.Writer, rep *SoakReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoakSweepSmall runs an abbreviated soak over all three workloads:
+// the structural assertions (palette ≤ 2Δ−1, bounded hole ratio, valid
+// epoch colorings) live inside the sweep, so passing is the test.
+func TestSoakSweepSmall(t *testing.T) {
+	cfg := SoakConfig{
+		Seed:      11,
+		N:         400,
+		AvgDeg:    8,
+		Workloads: []string{"window", "flash", "growth"},
+		Mutations: 3_000,
+		BatchSize: 50,
+		Epochs:    5,
+	}
+	rep, err := SoakSweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Arms) != 3 {
+		t.Fatalf("want 3 arms, got %d", len(rep.Arms))
+	}
+	if rep.TotalMutations < 3*cfg.Mutations {
+		t.Fatalf("total mutations %d below budget %d", rep.TotalMutations, 3*cfg.Mutations)
+	}
+	if !rep.Deterministic {
+		t.Fatal("soak replay diverged")
+	}
+	for _, arm := range rep.Arms {
+		if len(arm.Epochs) != cfg.Epochs {
+			t.Fatalf("%s: want %d epochs, got %d", arm.Workload, cfg.Epochs, len(arm.Epochs))
+		}
+		for _, ep := range arm.Epochs {
+			if !ep.Verified {
+				t.Fatalf("%s epoch %d not verified", arm.Workload, ep.Epoch)
+			}
+		}
+		// The window arm is the hole-punching workload; it must actually
+		// exercise compaction or the soak proves nothing.
+		if arm.Workload == "window" {
+			last := arm.Epochs[len(arm.Epochs)-1]
+			if last.Compactions == 0 {
+				t.Fatal("window arm never compacted")
+			}
+		}
+	}
+}
+
+// TestSoakSweepValidation covers the config rejections.
+func TestSoakSweepValidation(t *testing.T) {
+	bad := []SoakConfig{
+		{Seed: 1, N: 1, AvgDeg: 8, Workloads: []string{"window"}, Mutations: 100, BatchSize: 10, Epochs: 2},
+		{Seed: 1, N: 100, AvgDeg: 0, Workloads: []string{"window"}, Mutations: 100, BatchSize: 10, Epochs: 2},
+		{Seed: 1, N: 100, AvgDeg: 8, Workloads: nil, Mutations: 100, BatchSize: 10, Epochs: 2},
+		{Seed: 1, N: 100, AvgDeg: 8, Workloads: []string{"window"}, Mutations: 1, BatchSize: 10, Epochs: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := SoakSweep(cfg, nil); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+	cfg := SoakConfig{Seed: 1, N: 100, AvgDeg: 6, Workloads: []string{"nope"},
+		Mutations: 100, BatchSize: 10, Epochs: 2}
+	if _, err := SoakSweep(cfg, nil); err == nil || !strings.Contains(err.Error(), "unknown soak workload") {
+		t.Fatalf("unknown workload not rejected: %v", err)
+	}
+}

@@ -1,0 +1,320 @@
+// Temporal workload generators: endless, deterministic streams of
+// mutation batches that model how real graphs churn over time. Where
+// gen.go's generators produce a static topology, these produce the
+// *history* — arrivals, expiries, hotspots — that the dynamic
+// recoloring subsystem must survive. Each source inspects the live
+// graph before emitting so every batch is applicable as-is (no
+// insert-of-existing, no delete-of-missing, no duplicate pairs within a
+// batch), and each is a pure function of its rng.Rand stream, so soak
+// runs replay byte-identically.
+package gen
+
+import (
+	"fmt"
+
+	"dima/internal/graph"
+	"dima/internal/msg"
+	"dima/internal/rng"
+)
+
+// MutationSource generates an endless deterministic stream of mutation
+// batches against a live graph.
+type MutationSource interface {
+	// NextBatch returns a batch of up to size mutations, each applicable
+	// to g in the order given. The batch may be smaller than size when
+	// the graph or the source's phase limits choices, and empty when no
+	// applicable mutation exists at all (complete graph for a grower,
+	// drained queue for an expirer).
+	NextBatch(g *graph.Graph, size int) *msg.MutationBatch
+}
+
+// pair is an unordered endpoint pair, normalized u < v.
+type pair [2]int
+
+func mkPair(u, v int) pair {
+	if u > v {
+		u, v = v, u
+	}
+	return pair{u, v}
+}
+
+// randomLiveEdge samples a live edge near-uniformly by rejection over
+// the id space, falling back to a scan from a random offset when the
+// space is too holey for rejection to land.
+func randomLiveEdge(r *rng.Rand, g *graph.Graph) (graph.Edge, bool) {
+	bound := g.EdgeIDBound()
+	if g.M() == 0 || bound == 0 {
+		return graph.Edge{}, false
+	}
+	for tries := 0; tries < 64; tries++ {
+		if id := graph.EdgeID(r.Intn(bound)); g.Live(id) {
+			return g.EdgeAt(id), true
+		}
+	}
+	start := r.Intn(bound)
+	for i := 0; i < bound; i++ {
+		if id := graph.EdgeID((start + i) % bound); g.Live(id) {
+			return g.EdgeAt(id), true
+		}
+	}
+	return graph.Edge{}, false
+}
+
+// insertRandom appends up to want insertions of uniformly random
+// missing edges to b, avoiding pairs already touched this batch.
+func insertRandom(r *rng.Rand, g *graph.Graph, b *msg.MutationBatch, touched map[pair]bool, want int) []pair {
+	n := g.N()
+	if n < 2 {
+		return nil
+	}
+	var added []pair
+	for tries := 0; len(added) < want && tries < 20*want+40; tries++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		p := mkPair(u, v)
+		if touched[p] || g.HasEdge(p[0], p[1]) {
+			continue
+		}
+		touched[p] = true
+		added = append(added, p)
+		b.Muts = append(b.Muts, msg.Mutation{Op: msg.OpInsert, U: p[0], V: p[1]})
+	}
+	return added
+}
+
+// deleteRandom appends up to want deletions of random live edges to b.
+func deleteRandom(r *rng.Rand, g *graph.Graph, b *msg.MutationBatch, touched map[pair]bool, want int) {
+	for got, tries := 0, 0; got < want && tries < 20*want+40; tries++ {
+		e, ok := randomLiveEdge(r, g)
+		if !ok {
+			return
+		}
+		p := mkPair(e.U, e.V)
+		if touched[p] {
+			continue
+		}
+		touched[p] = true
+		got++
+		b.Muts = append(b.Muts, msg.Mutation{Op: msg.OpDelete, U: p[0], V: p[1]})
+	}
+}
+
+// SlidingWindow models stream processing with edge expiry: fresh edges
+// arrive uniformly at random and the oldest edges expire in FIFO order.
+// The live-edge window oscillates between minWindow and maxWindow,
+// driven by state rather than a clock: the source *fills* (arrival-
+// dominated batches) until the live count reaches maxWindow, then
+// *drains* (expiry-dominated batches, deletions genuinely outpacing
+// insertions) until it falls to minWindow, and repeats. The drain half
+// of each cycle is exactly the regime that punches holes in the edge-id
+// space, so a long run exercises compaction triggers over and over —
+// regardless of batch size, because the turnaround points are reached
+// by throughput, not assumed by a schedule.
+type SlidingWindow struct {
+	r         *rng.Rand
+	minWindow int
+	maxWindow int
+
+	queue    []pair // insertion order, oldest at pos
+	pos      int
+	draining bool
+	seq      uint64
+	adopted  bool
+}
+
+// NewSlidingWindow returns a sliding-window source oscillating between
+// minWindow and maxWindow live edges (1 ≤ minWindow ≤ maxWindow).
+func NewSlidingWindow(r *rng.Rand, minWindow, maxWindow int) (*SlidingWindow, error) {
+	if minWindow < 1 || maxWindow < minWindow {
+		return nil, fmt.Errorf("gen: window bounds [%d,%d] invalid", minWindow, maxWindow)
+	}
+	return &SlidingWindow{r: r, minWindow: minWindow, maxWindow: maxWindow}, nil
+}
+
+func (s *SlidingWindow) NextBatch(g *graph.Graph, size int) *msg.MutationBatch {
+	if !s.adopted {
+		// Pre-existing edges join the window in id order so they expire
+		// like everything else.
+		for id := 0; id < g.EdgeIDBound(); id++ {
+			if g.Live(graph.EdgeID(id)) {
+				e := g.EdgeAt(graph.EdgeID(id))
+				s.queue = append(s.queue, mkPair(e.U, e.V))
+			}
+		}
+		s.adopted = true
+	}
+	b := &msg.MutationBatch{Seq: s.seq}
+	s.seq++
+	touched := map[pair]bool{}
+	live := g.M()
+	if s.draining && live <= s.minWindow {
+		s.draining = false
+	} else if !s.draining && live >= s.maxWindow {
+		s.draining = true
+	}
+	// Fill: half the budget arrives, nothing expires. Drain: a trickle
+	// arrives (the stream never goes stale) and expiry takes the rest.
+	arrivals := size / 2
+	if s.draining {
+		arrivals = size / 8
+	}
+	if arrivals < 1 {
+		arrivals = 1
+	}
+	fresh := insertRandom(s.r, g, b, touched, arrivals)
+	s.queue = append(s.queue, fresh...)
+	live += len(fresh)
+	for s.draining && live > s.minWindow && len(b.Muts) < size && s.pos < len(s.queue) {
+		p := s.queue[s.pos]
+		s.pos++
+		if touched[p] || !g.HasEdge(p[0], p[1]) {
+			continue // inserted this batch, or already gone
+		}
+		touched[p] = true
+		live--
+		b.Muts = append(b.Muts, msg.Mutation{Op: msg.OpDelete, U: p[0], V: p[1]})
+	}
+	// Reclaim the consumed queue prefix once it dominates.
+	if s.pos > len(s.queue)/2 {
+		s.queue = append([]pair(nil), s.queue[s.pos:]...)
+		s.pos = 0
+	}
+	return b
+}
+
+// FlashCrowd models a recurring hotspot: each cycle picks a center
+// vertex, ramps a near-star onto it over Ramp batches (Δ spikes, the
+// palette cap follows), holds with balanced background churn for Hold
+// batches, then tears the star down over Decay batches (Δ falls, the
+// spike-era top colors strand — the palette-rebalance trigger's
+// canonical prey).
+type FlashCrowd struct {
+	r                 *rng.Rand
+	ramp, hold, decay int
+
+	center int
+	phase  int
+	hot    []pair // hotspot edges this source inserted, in arrival order
+	seq    uint64
+}
+
+// NewFlashCrowd returns a flash-crowd source cycling through ramp,
+// hold, and decay phases of the given lengths (each ≥ 1 batch).
+func NewFlashCrowd(r *rng.Rand, ramp, hold, decay int) (*FlashCrowd, error) {
+	if ramp < 1 || hold < 1 || decay < 1 {
+		return nil, fmt.Errorf("gen: flash-crowd phases %d/%d/%d must each be ≥ 1", ramp, hold, decay)
+	}
+	return &FlashCrowd{r: r, ramp: ramp, hold: hold, decay: decay, center: -1}, nil
+}
+
+func (s *FlashCrowd) NextBatch(g *graph.Graph, size int) *msg.MutationBatch {
+	b := &msg.MutationBatch{Seq: s.seq}
+	s.seq++
+	touched := map[pair]bool{}
+	cycle := s.ramp + s.hold + s.decay
+	p := s.phase
+	s.phase = (s.phase + 1) % cycle
+	if p == 0 || s.center < 0 {
+		s.center = s.r.Intn(max(g.N(), 1))
+		s.hot = s.hot[:0]
+	}
+	n := g.N()
+	switch {
+	case p < s.ramp:
+		// Attach the crowd: random missing edges on the center.
+		for tries := 0; len(b.Muts) < size && tries < 20*size+40; tries++ {
+			v := s.r.Intn(n)
+			if v == s.center {
+				continue
+			}
+			q := mkPair(s.center, v)
+			if touched[q] || g.HasEdge(q[0], q[1]) {
+				continue
+			}
+			touched[q] = true
+			s.hot = append(s.hot, q)
+			b.Muts = append(b.Muts, msg.Mutation{Op: msg.OpInsert, U: q[0], V: q[1]})
+		}
+	case p < s.ramp+s.hold:
+		// Steady state: balanced background churn keeps the stream live
+		// without moving the hotspot.
+		half := size / 2
+		if half < 1 {
+			half = 1
+		}
+		insertRandom(s.r, g, b, touched, half)
+		deleteRandom(s.r, g, b, touched, half)
+	default:
+		// Disperse: tear hotspot edges down, paced to finish by the end
+		// of the decay phase.
+		remaining := cycle - p
+		want := (len(s.hot) + remaining - 1) / remaining
+		if want > size {
+			want = size
+		}
+		for len(s.hot) > 0 && want > 0 {
+			q := s.hot[len(s.hot)-1]
+			s.hot = s.hot[:len(s.hot)-1]
+			if touched[q] || !g.HasEdge(q[0], q[1]) {
+				continue
+			}
+			touched[q] = true
+			want--
+			b.Muts = append(b.Muts, msg.Mutation{Op: msg.OpDelete, U: q[0], V: q[1]})
+		}
+	}
+	return b
+}
+
+// PreferentialGrowth models organic network growth with preferential
+// attachment, the temporal counterpart of BarabasiAlbert: each new edge
+// joins a uniformly random vertex to a degree-proportional one. The
+// degree-proportional draw samples a uniform live edge and takes a
+// random endpoint — exactly degree-biased, O(1), and independent of any
+// degree table. Pure growth: Δ and the id bound rise monotonically,
+// exercising the palette side of maintenance without ever making holes.
+type PreferentialGrowth struct {
+	r   *rng.Rand
+	seq uint64
+}
+
+// NewPreferentialGrowth returns a preferential-attachment growth
+// source.
+func NewPreferentialGrowth(r *rng.Rand) *PreferentialGrowth {
+	return &PreferentialGrowth{r: r}
+}
+
+func (s *PreferentialGrowth) NextBatch(g *graph.Graph, size int) *msg.MutationBatch {
+	b := &msg.MutationBatch{Seq: s.seq}
+	s.seq++
+	touched := map[pair]bool{}
+	n := g.N()
+	if n < 2 {
+		return b
+	}
+	for tries := 0; len(b.Muts) < size && tries < 20*size+40; tries++ {
+		u := s.r.Intn(n)
+		v := u
+		if e, ok := randomLiveEdge(s.r, g); ok {
+			if s.r.Intn(2) == 0 {
+				v = e.U
+			} else {
+				v = e.V
+			}
+		} else {
+			v = s.r.Intn(n)
+		}
+		if u == v {
+			continue
+		}
+		q := mkPair(u, v)
+		if touched[q] || g.HasEdge(q[0], q[1]) {
+			continue
+		}
+		touched[q] = true
+		b.Muts = append(b.Muts, msg.Mutation{Op: msg.OpInsert, U: q[0], V: q[1]})
+	}
+	return b
+}

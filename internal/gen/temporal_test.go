@@ -1,0 +1,186 @@
+package gen
+
+import (
+	"testing"
+
+	"dima/internal/graph"
+	"dima/internal/msg"
+	"dima/internal/rng"
+)
+
+// applyBatch applies a batch directly to the graph, failing the test on
+// any inapplicable mutation — the applicability contract every source
+// promises.
+func applyBatch(t *testing.T, g *graph.Graph, b *msg.MutationBatch) {
+	t.Helper()
+	for i, m := range b.Muts {
+		var err error
+		switch m.Op {
+		case msg.OpInsert:
+			_, err = g.AddEdge(m.U, m.V)
+		case msg.OpDelete:
+			_, err = g.RemoveEdge(m.U, m.V)
+		default:
+			t.Fatalf("mutation %d: bad op %v", i, m.Op)
+		}
+		if err != nil {
+			t.Fatalf("batch %d mutation %d (%v): %v", b.Seq, i, m, err)
+		}
+	}
+}
+
+// drive runs a source for batches rounds against a fresh copy of g,
+// returning the mutated graph and the full mutation history.
+func drive(t *testing.T, src MutationSource, g *graph.Graph, batches, size int) (*graph.Graph, []msg.Mutation) {
+	t.Helper()
+	g = g.Clone()
+	var hist []msg.Mutation
+	for i := 0; i < batches; i++ {
+		b := src.NextBatch(g, size)
+		if b.Seq != uint64(i) {
+			t.Fatalf("batch %d carries seq %d", i, b.Seq)
+		}
+		applyBatch(t, g, b)
+		hist = append(hist, b.Muts...)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, hist
+}
+
+func seedGraph(t *testing.T, n, m int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := ErdosRenyiGNM(rng.New(seed), n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSlidingWindowApplicableAndHoley(t *testing.T) {
+	g := seedGraph(t, 200, 600, 7)
+	src, err := NewSlidingWindow(rng.New(11), 300, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, hist := drive(t, src, g, 120, 20)
+	if len(hist) == 0 {
+		t.Fatal("window source emitted nothing")
+	}
+	dels := 0
+	for _, m := range hist {
+		if m.Op == msg.OpDelete {
+			dels++
+		}
+	}
+	if dels == 0 {
+		t.Fatal("oscillating window never expired an edge")
+	}
+	// Delete-heavy phases must leave id holes — that is the workload's
+	// whole point.
+	if mutated.EdgeIDBound() == mutated.M() {
+		t.Fatalf("no holes after %d mutations (%d dels)", len(hist), dels)
+	}
+	// The window keeps the live count bounded.
+	if mutated.M() > 800+20 {
+		t.Fatalf("live edges %d far above window max 800", mutated.M())
+	}
+}
+
+func TestFlashCrowdSpikesAndDecays(t *testing.T) {
+	g := seedGraph(t, 150, 300, 3)
+	base := g.MaxDegree()
+	src, err := NewFlashCrowd(rng.New(5), 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := g.Clone()
+	peak := base
+	for i := 0; i < 10; i++ { // exactly one cycle
+		applyBatch(t, work, src.NextBatch(work, 25))
+		if d := work.MaxDegree(); d > peak {
+			peak = d
+		}
+	}
+	if peak <= base {
+		t.Fatalf("ramp never raised Δ above baseline %d", base)
+	}
+	// After the decay phase the hotspot is dismantled: Δ back near
+	// baseline (background churn may wiggle it slightly).
+	if d := work.MaxDegree(); d > base+3 {
+		t.Fatalf("post-decay Δ %d still near peak %d (baseline %d)", d, peak, base)
+	}
+	if err := work.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferentialGrowthBiasesHubs(t *testing.T) {
+	g := seedGraph(t, 300, 400, 9)
+	src := NewPreferentialGrowth(rng.New(13))
+	mutated, hist := drive(t, src, g, 80, 25)
+	for _, m := range hist {
+		if m.Op != msg.OpInsert {
+			t.Fatal("growth source emitted a deletion")
+		}
+	}
+	if mutated.M() <= g.M() {
+		t.Fatal("growth source did not grow the graph")
+	}
+	// Degree-proportional attachment concentrates: the mutated max
+	// degree should noticeably outrun a uniform baseline's.
+	added := mutated.M() - g.M()
+	uniform := g.Clone()
+	r := rng.New(14)
+	for uniform.M() < g.M()+added {
+		u, v := r.Intn(g.N()), r.Intn(g.N())
+		if u != v && !uniform.HasEdge(u, v) {
+			uniform.MustAddEdge(u, v)
+		}
+	}
+	if mutated.MaxDegree() <= uniform.MaxDegree() {
+		t.Logf("warning: preferential Δ %d not above uniform Δ %d (can happen, rarely)",
+			mutated.MaxDegree(), uniform.MaxDegree())
+	}
+}
+
+func TestTemporalSourcesDeterministic(t *testing.T) {
+	build := func() []MutationSource {
+		sw, err := NewSlidingWindow(rng.New(21), 200, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := NewFlashCrowd(rng.New(22), 3, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []MutationSource{sw, fc, NewPreferentialGrowth(rng.New(23))}
+	}
+	a, b := build(), build()
+	for si := range a {
+		g := seedGraph(t, 120, 350, 31)
+		_, h1 := drive(t, a[si], g, 50, 15)
+		_, h2 := drive(t, b[si], g, 50, 15)
+		if len(h1) != len(h2) {
+			t.Fatalf("source %d: history lengths diverge: %d vs %d", si, len(h1), len(h2))
+		}
+		for i := range h1 {
+			if h1[i] != h2[i] {
+				t.Fatalf("source %d: mutation %d diverges: %v vs %v", si, i, h1[i], h2[i])
+			}
+		}
+	}
+}
+
+func TestTemporalSourceValidation(t *testing.T) {
+	if _, err := NewSlidingWindow(rng.New(1), 0, 10); err == nil {
+		t.Fatal("window min 0 accepted")
+	}
+	if _, err := NewSlidingWindow(rng.New(1), 10, 5); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if _, err := NewFlashCrowd(rng.New(1), 0, 1, 1); err == nil {
+		t.Fatal("zero ramp accepted")
+	}
+}

@@ -60,6 +60,14 @@ type Graph struct {
 	edges []Edge     // edges[id] = normalized endpoints, or edgeHole
 	free  []EdgeID   // removed ids awaiting recycling (LIFO)
 	index map[Edge]EdgeID
+
+	// Degree bookkeeping, maintained on every mutation so MaxDegree is
+	// O(1): degCount[d] counts vertices of degree d, maxDeg is the
+	// largest d with degCount[d] > 0 (0 for an empty graph). A dynamic
+	// recolorer reads the current Δ on every batch, so Δ must track
+	// deletions as cheaply as insertions.
+	degCount []int
+	maxDeg   int
 }
 
 // edgeHole marks a removed edge's slot in the edge list.
@@ -71,10 +79,11 @@ func New(n int) *Graph {
 		panic("graph: negative vertex count")
 	}
 	return &Graph{
-		n:     n,
-		adj:   make([][]int, n),
-		inc:   make([][]EdgeID, n),
-		index: make(map[Edge]EdgeID),
+		n:        n,
+		adj:      make([][]int, n),
+		inc:      make([][]EdgeID, n),
+		index:    make(map[Edge]EdgeID),
+		degCount: []int{n},
 	}
 }
 
@@ -122,7 +131,32 @@ func (g *Graph) AddEdge(u, v int) (EdgeID, error) {
 	g.adj[v] = append(g.adj[v], u)
 	g.inc[u] = append(g.inc[u], id)
 	g.inc[v] = append(g.inc[v], id)
+	g.degreeUp(len(g.adj[u]))
+	g.degreeUp(len(g.adj[v]))
 	return id, nil
+}
+
+// degreeUp moves one vertex from degree d-1 to d in the degree counts.
+func (g *Graph) degreeUp(d int) {
+	g.degCount[d-1]--
+	if d == len(g.degCount) {
+		g.degCount = append(g.degCount, 0)
+	}
+	g.degCount[d]++
+	if d > g.maxDeg {
+		g.maxDeg = d
+	}
+}
+
+// degreeDown moves one vertex from degree d+1 to d, shrinking maxDeg
+// when the top degree class empties. The walk down is amortized O(1):
+// maxDeg only decreases past degrees some degreeUp paid to reach.
+func (g *Graph) degreeDown(d int) {
+	g.degCount[d+1]--
+	g.degCount[d]++
+	for g.maxDeg > 0 && g.degCount[g.maxDeg] == 0 {
+		g.maxDeg--
+	}
 }
 
 // RemoveEdge deletes the undirected edge {u, v} and returns the id it
@@ -141,6 +175,8 @@ func (g *Graph) RemoveEdge(u, v int) (EdgeID, error) {
 	g.free = append(g.free, id)
 	g.detach(e.U, id)
 	g.detach(e.V, id)
+	g.degreeDown(len(g.adj[e.U]))
+	g.degreeDown(len(g.adj[e.V]))
 	return id, nil
 }
 
@@ -209,16 +245,10 @@ func (g *Graph) IncidentEdges(u int) []EdgeID { return g.inc[u] }
 // Degree returns the degree of vertex u.
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
 
-// MaxDegree returns Δ, the maximum degree. Zero for an empty graph.
-func (g *Graph) MaxDegree() int {
-	d := 0
-	for u := 0; u < g.n; u++ {
-		if len(g.adj[u]) > d {
-			d = len(g.adj[u])
-		}
-	}
-	return d
-}
+// MaxDegree returns Δ, the maximum degree, in O(1): the degree counts
+// are maintained incrementally by AddEdge and RemoveEdge, so Δ tracks
+// deletions as well as insertions. Zero for an empty graph.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // MinDegree returns the minimum degree; zero for an empty graph.
 func (g *Graph) MinDegree() int {
@@ -245,11 +275,7 @@ func (g *Graph) AvgDegree() float64 {
 // DegreeHistogram returns counts[d] = number of vertices of degree d,
 // for d in [0, Δ].
 func (g *Graph) DegreeHistogram() []int {
-	counts := make([]int, g.MaxDegree()+1)
-	for u := 0; u < g.n; u++ {
-		counts[len(g.adj[u])]++
-	}
-	return counts
+	return append([]int(nil), g.degCount[:g.maxDeg+1]...)
 }
 
 // Clone returns a deep copy of g, preserving edge ids, removal holes,
@@ -257,12 +283,14 @@ func (g *Graph) DegreeHistogram() []int {
 // every id-indexed side table valid.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		n:     g.n,
-		adj:   make([][]int, g.n),
-		inc:   make([][]EdgeID, g.n),
-		edges: append([]Edge(nil), g.edges...),
-		free:  append([]EdgeID(nil), g.free...),
-		index: make(map[Edge]EdgeID, len(g.index)),
+		n:        g.n,
+		adj:      make([][]int, g.n),
+		inc:      make([][]EdgeID, g.n),
+		edges:    append([]Edge(nil), g.edges...),
+		free:     append([]EdgeID(nil), g.free...),
+		index:    make(map[Edge]EdgeID, len(g.index)),
+		degCount: append([]int(nil), g.degCount...),
+		maxDeg:   g.maxDeg,
 	}
 	for u := 0; u < g.n; u++ {
 		c.adj[u] = append([]int(nil), g.adj[u]...)
@@ -290,6 +318,46 @@ func (g *Graph) Compacted() (*Graph, []EdgeID) {
 		ids = append(ids, EdgeID(id))
 	}
 	return c, ids
+}
+
+// Compact removes the removal holes from g's edge-id space in place:
+// live edges are renumbered densely in increasing old-id order, the
+// free list empties, and afterwards EdgeIDBound() == M(). It returns
+// the id map (ids[newID] == oldID) so callers can remap id-indexed
+// side tables (colorings, weights) through it. Unlike Compacted, the
+// graph handle itself stays valid — adjacency, degrees, and every
+// query keep working on the same *Graph — which is what lets a
+// long-running recolorer reclaim id space without republishing its
+// graph to readers. For a hole-free graph it is a cheap no-op
+// returning nil.
+func (g *Graph) Compact() []EdgeID {
+	if len(g.free) == 0 {
+		return nil
+	}
+	oldToNew := make([]EdgeID, len(g.edges))
+	ids := make([]EdgeID, 0, g.M())
+	dense := make([]Edge, 0, g.M())
+	for id, e := range g.edges {
+		if e == edgeHole {
+			oldToNew[id] = -1
+			continue
+		}
+		oldToNew[id] = EdgeID(len(dense))
+		ids = append(ids, EdgeID(id))
+		dense = append(dense, e)
+	}
+	g.edges = dense
+	g.free = nil
+	for e, id := range g.index {
+		g.index[e] = oldToNew[id]
+	}
+	for u := 0; u < g.n; u++ {
+		inc := g.inc[u]
+		for i, id := range inc {
+			inc[i] = oldToNew[id]
+		}
+	}
+	return ids
 }
 
 // SortedNeighbors returns a sorted copy of u's neighbor list; useful for
@@ -323,6 +391,26 @@ func (g *Graph) Validate() error {
 	}
 	if degSum != 2*g.M() {
 		return fmt.Errorf("graph: degree sum %d != 2M %d", degSum, 2*g.M())
+	}
+	wantDeg := make([]int, g.maxDeg+1)
+	for u := 0; u < g.n; u++ {
+		d := len(g.adj[u])
+		if d > g.maxDeg {
+			return fmt.Errorf("graph: vertex %d degree %d exceeds tracked Δ %d", u, d, g.maxDeg)
+		}
+		wantDeg[d]++
+	}
+	if g.n > 0 && g.maxDeg > 0 && wantDeg[g.maxDeg] == 0 {
+		return fmt.Errorf("graph: tracked Δ %d has no vertex", g.maxDeg)
+	}
+	for d, want := range wantDeg {
+		got := 0
+		if d < len(g.degCount) {
+			got = g.degCount[d]
+		}
+		if got != want {
+			return fmt.Errorf("graph: degree count[%d] = %d, want %d", d, got, want)
+		}
 	}
 	holes := make(map[EdgeID]bool, len(g.free))
 	for _, id := range g.free {

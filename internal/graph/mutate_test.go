@@ -213,3 +213,117 @@ func TestCloneMutatedPreservesIDs(t *testing.T) {
 		t.Fatalf("original recycled id %d, want 1", gid)
 	}
 }
+
+func TestCompactInPlace(t *testing.T) {
+	r := rng.New(41)
+	g := New(20)
+	for step := 0; step < 400; step++ {
+		u, v := r.Intn(20), r.Intn(20)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			g.RemoveEdge(u, v)
+		} else {
+			g.MustAddEdge(u, v)
+		}
+	}
+	if g.EdgeIDBound() == g.M() {
+		t.Fatal("churn left no holes; the test needs some")
+	}
+	want, wantIDs := g.Compacted() // reference: the snapshot compaction
+	before := g.EdgeIDBound()
+	ids := g.Compact()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeIDBound() != g.M() {
+		t.Fatalf("after Compact: bound=%d M=%d", g.EdgeIDBound(), g.M())
+	}
+	if len(ids) != g.M() {
+		t.Fatalf("id map has %d entries, want %d", len(ids), g.M())
+	}
+	for i := range ids {
+		if ids[i] != wantIDs[i] {
+			t.Fatalf("id map diverges from Compacted at %d: %d vs %d", i, ids[i], wantIDs[i])
+		}
+		if g.EdgeAt(EdgeID(i)) != want.EdgeAt(EdgeID(i)) {
+			t.Fatalf("edge %d diverges from Compacted", i)
+		}
+	}
+	// Incidence lists and the index were remapped, so lookups still work.
+	for id := 0; id < g.EdgeIDBound(); id++ {
+		e := g.EdgeAt(EdgeID(id))
+		got, ok := g.EdgeIDOf(e.U, e.V)
+		if !ok || got != EdgeID(id) {
+			t.Fatalf("index round-trip broken at %d: got %d ok=%v", id, got, ok)
+		}
+	}
+	// Fresh insertions extend the dense space, no recycled holes left.
+	var added EdgeID = -1
+	for u := 0; u < 20 && added < 0; u++ {
+		for v := u + 1; v < 20; v++ {
+			if !g.HasEdge(u, v) {
+				id, err := g.AddEdge(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				added = id
+				break
+			}
+		}
+	}
+	if int(added) != g.EdgeIDBound()-1 {
+		t.Fatalf("post-compact insert got id %d, want %d", added, g.EdgeIDBound()-1)
+	}
+	if before <= g.M()-1 {
+		t.Fatalf("sanity: pre-compact bound %d did not exceed live count", before)
+	}
+	// Compacting a dense graph is a no-op.
+	if got := g.Compact(); got != nil {
+		t.Fatalf("no-op Compact returned %v", got)
+	}
+}
+
+func TestMaxDegreeTracksMutations(t *testing.T) {
+	r := rng.New(23)
+	const n = 25
+	g := New(n)
+	scan := func() int {
+		d := 0
+		for u := 0; u < n; u++ {
+			if g.Degree(u) > d {
+				d = g.Degree(u)
+			}
+		}
+		return d
+	}
+	for step := 0; step < 3000; step++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			g.RemoveEdge(u, v)
+		} else {
+			g.MustAddEdge(u, v)
+		}
+		if got, want := g.MaxDegree(), scan(); got != want {
+			t.Fatalf("step %d: tracked Δ=%d, scan says %d", step, got, want)
+		}
+	}
+	// Delete everything: Δ must walk back to zero.
+	for id := 0; id < g.EdgeIDBound(); id++ {
+		if !g.Live(EdgeID(id)) {
+			continue
+		}
+		e := g.EdgeAt(EdgeID(id))
+		g.RemoveEdge(e.U, e.V)
+	}
+	if g.MaxDegree() != 0 || g.M() != 0 {
+		t.Fatalf("drained graph: Δ=%d M=%d", g.MaxDegree(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

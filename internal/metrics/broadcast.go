@@ -24,6 +24,10 @@ const (
 	EventRound = "round"
 	// EventMutation carries one mutation-batch repair report.
 	EventMutation = "mutation"
+	// EventMaintenance carries one dynamic.MaintainReport when a
+	// maintenance pass (compaction / palette rebalance) runs between
+	// mutation batches.
+	EventMaintenance = "maintenance"
 	// EventStatus carries a job status snapshot at a lifecycle
 	// transition (queued, running, done, failed, canceled).
 	EventStatus = "status"

@@ -70,11 +70,21 @@ type JobStatus struct {
 }
 
 // MutationSummary reports the maintained coloring after mutations.
+// EdgeIDBound vs M exposes id-space fragmentation: their ratio
+// (HoleRatio) is what the maintenance hole trigger watches, and the
+// maintain* fields count the passes that have reclaimed it.
 type MutationSummary struct {
-	Batches  int `json:"batches"`
-	M        int `json:"m"`
-	Colors   int `json:"colors"`
-	MaxColor int `json:"maxColor"`
+	Batches     int     `json:"batches"`
+	M           int     `json:"m"`
+	Colors      int     `json:"colors"`
+	MaxColor    int     `json:"maxColor"`
+	EdgeIDBound int     `json:"edgeIDBound"`
+	HoleRatio   float64 `json:"holeRatio"`
+	// Maintenance pass counts (0 unless the stream opted in with
+	// maintain=true).
+	MaintainPasses int `json:"maintainPasses"`
+	Compactions    int `json:"compactions"`
+	Rebalances     int `json:"rebalances"`
 }
 
 // ResultSummary is the scalar outcome; the full coloring lives at the
@@ -114,10 +124,18 @@ func (j *job) status() JobStatus {
 		st.FinishedAt = &t
 	}
 	if j.mutBatches > 0 {
-		st.Mutations = &MutationSummary{
+		ms := &MutationSummary{
 			Batches: j.mutBatches, M: j.mutM,
 			Colors: j.mutColors, MaxColor: j.mutMaxColor,
+			EdgeIDBound:    j.mutIDBound,
+			MaintainPasses: j.mutMaintain,
+			Compactions:    j.mutCompactions,
+			Rebalances:     j.mutRebalances,
 		}
+		if j.mutM > 0 {
+			ms.HoleRatio = float64(j.mutIDBound) / float64(j.mutM)
+		}
+		st.Mutations = ms
 	}
 	if j.res != nil {
 		colored := 0
@@ -323,6 +341,19 @@ func queryUint(r *http.Request, name string, def uint64) (uint64, error) {
 		return 0, fmt.Errorf("query %s: want an unsigned integer, got %q", name, v)
 	}
 	return u, nil
+}
+
+// queryFloat parses an optional non-negative float query parameter.
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("query %s: want a non-negative number, got %q", name, v)
+	}
+	return f, nil
 }
 
 // queryInt parses an optional non-negative integer query parameter.

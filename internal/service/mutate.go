@@ -32,8 +32,11 @@ import (
 // Query parameters, read on the job's first mutate call only (they
 // configure the recolorer, which then lives for the job's lifetime):
 // palette caps the greedy palette (0 = 2Δ−1 under the current Δ), seed
-// seeds the repair runs. verify=false skips the per-batch O(m)
-// re-validation (the "valid" field is then omitted).
+// seeds the repair runs. maintain=true turns on automatic maintenance
+// between batches (edge-id compaction and palette rebalancing,
+// dynamic.MaintainOptions); holeRatio and paletteSlack tune its
+// triggers. verify=false skips the per-batch O(m) re-validation (the
+// "valid" field is then omitted).
 //
 // A batch that fails validation (malformed ops, out-of-range or
 // duplicate endpoints, insert-of-existing, delete-of-missing) is
@@ -72,12 +75,16 @@ type MutateResponse struct {
 	RegionEdges   int  `json:"regionEdges"`
 	Fallback      int  `json:"fallback,omitempty"`
 	Aborted       bool `json:"aborted,omitempty"`
-	// Post-batch state: live edges, palette, and the re-validation
-	// verdict (nil when verify=false).
-	M        int   `json:"m"`
-	Colors   int   `json:"colors"`
-	MaxColor int   `json:"maxColor"`
-	Valid    *bool `json:"valid,omitempty"`
+	// Maintenance reports the pass that ran after this batch, when the
+	// stream opted in with maintain=true and a trigger tripped.
+	Maintenance *dynamic.MaintainReport `json:"maintenance,omitempty"`
+	// Post-batch state: live edges, edge-id bound (> m means id holes),
+	// palette, and the re-validation verdict (nil when verify=false).
+	M           int   `json:"m"`
+	EdgeIDBound int   `json:"edgeIDBound"`
+	Colors      int   `json:"colors"`
+	MaxColor    int   `json:"maxColor"`
+	Valid       *bool `json:"valid,omitempty"`
 }
 
 // errNotMutable maps to 409: the job has no complete edge coloring to
@@ -87,8 +94,9 @@ type errNotMutable struct{ reason string }
 func (e errNotMutable) Error() string { return e.reason }
 
 // recolorer returns the job's recolorer, creating it on first use from
-// the finished run's graph and coloring. Caller holds j.recMu.
-func (s *Server) recolorer(j *job, palette int, seed uint64) (*dynamic.Recolorer, error) {
+// the finished run's graph and coloring. maintain, when non-nil, turns
+// on automatic maintenance between batches. Caller holds j.recMu.
+func (s *Server) recolorer(j *job, palette int, seed uint64, maintain *dynamic.MaintainOptions) (*dynamic.Recolorer, error) {
 	if j.rec != nil {
 		return j.rec, nil
 	}
@@ -104,8 +112,9 @@ func (s *Server) recolorer(j *job, palette int, seed uint64) (*dynamic.Recolorer
 	// Clone graph and colors: the job's own record stays immutable (and
 	// data-race free) for status/stats readers.
 	rec, err := dynamic.New(j.req.Graph.Clone(), append([]int(nil), res.Colors...), dynamic.Options{
-		Seed:    seed,
-		Palette: palette,
+		Seed:     seed,
+		Palette:  palette,
+		Maintain: maintain,
 		Repair: core.Options{
 			Engine:  net.RunShard,
 			Workers: s.cfg.ShardWorkers,
@@ -154,10 +163,24 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	doVerify := r.URL.Query().Get("verify") != "false"
+	var maintain *dynamic.MaintainOptions
+	if r.URL.Query().Get("maintain") == "true" {
+		holeRatio, err := queryFloat(r, "holeRatio", 0)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		paletteSlack, err := queryInt(r, "paletteSlack", 0)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		maintain = &dynamic.MaintainOptions{HoleRatio: holeRatio, PaletteSlack: paletteSlack}
+	}
 
 	j.recMu.Lock()
 	defer j.recMu.Unlock()
-	rec, err := s.recolorer(j, palette, seed)
+	rec, err := s.recolorer(j, palette, seed, maintain)
 	if err != nil {
 		if nm, ok := err.(errNotMutable); ok {
 			httpError(w, http.StatusConflict, nm)
@@ -202,8 +225,20 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			resp.RegionEdges = rep.RegionEdges
 			resp.Fallback = rep.FallbackEdges
 			resp.Aborted = rep.Aborted
+			resp.Maintenance = rep.Maintenance
+			if mrep := rep.Maintenance; mrep != nil {
+				s.maintPasses.Inc()
+				if mrep.Compacted {
+					s.maintCompact.Inc()
+				}
+				if mrep.Rebalanced {
+					s.maintRebalance.Inc()
+				}
+				s.maintTime.Observe(mrep.DurationUS)
+			}
 		}
 		resp.M = rec.Graph().M()
+		resp.EdgeIDBound = rec.Graph().EdgeIDBound()
 		resp.Colors = rec.NumColors()
 		resp.MaxColor = rec.MaxColor()
 		if doVerify {
@@ -216,10 +251,25 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			j.mutM = resp.M
 			j.mutColors = resp.Colors
 			j.mutMaxColor = resp.MaxColor
+			j.mutIDBound = resp.EdgeIDBound
+			if resp.Maintenance != nil {
+				j.mutMaintain++
+				if resp.Maintenance.Compacted {
+					j.mutCompactions++
+				}
+				if resp.Maintenance.Rebalanced {
+					j.mutRebalances++
+				}
+			}
 			j.mu.Unlock()
 		}
 		// Rejected batches are broadcast too: a watcher should see the
-		// stream stall's cause, not just silence.
+		// stream stall's cause, not just silence. Maintenance passes get
+		// their own event so a dashboard can mark compactions on the
+		// timeline without parsing every batch report.
+		if resp.Maintenance != nil {
+			j.bcast.Publish(metrics.EventMaintenance, resp.Maintenance)
+		}
 		j.bcast.Publish(metrics.EventMutation, resp)
 		_ = enc.Encode(resp)
 		if flusher != nil {

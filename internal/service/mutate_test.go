@@ -219,6 +219,115 @@ func TestMutateLongStreamFullDuplex(t *testing.T) {
 	}
 }
 
+// TestMutateMaintainCompactsUnderChurn opts a delete-heavy stream into
+// maintenance and checks the full wiring: per-batch maintenance
+// reports, the hole-ratio trigger actually firing, and the status
+// summary's pass counters.
+func TestMutateMaintainCompactsUnderChurn(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"cycle","n":200},"seed":7}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+
+	// Delete 80 cycle edges in batches of 10: the id space fragments
+	// until EdgeIDBound/live crosses 1.2 and compaction fires (possibly
+	// more than once, since each pass resets the ratio to 1).
+	var sb strings.Builder
+	for b := 0; b < 8; b++ {
+		sb.WriteString(fmt.Sprintf(`{"seq":%d,"muts":[`, b+1))
+		for i := 0; i < 10; i++ {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			u := b*10 + i
+			sb.WriteString(fmt.Sprintf(`{"op":"-","u":%d,"v":%d}`, u, u+1))
+		}
+		sb.WriteString("]}\n")
+	}
+	out := mutateNDJSON(t, ts.URL, st.ID, sb.String(), "?maintain=true&holeRatio=1.2")
+	if len(out) != 8 {
+		t.Fatalf("got %d response lines for 8 batches", len(out))
+	}
+	passes, compactions := 0, 0
+	for i, mr := range out {
+		if !mr.Applied {
+			t.Fatalf("batch %d not applied: %+v", i+1, mr)
+		}
+		if mr.Valid == nil || !*mr.Valid {
+			t.Fatalf("batch %d: coloring invalid: %+v", i+1, mr)
+		}
+		if mr.EdgeIDBound < mr.M {
+			t.Fatalf("batch %d: edgeIDBound %d below live %d", i+1, mr.EdgeIDBound, mr.M)
+		}
+		if mr.Maintenance != nil {
+			passes++
+			if mr.Maintenance.Compacted {
+				compactions++
+				if mr.EdgeIDBound != mr.M {
+					t.Fatalf("batch %d: holes survived a compaction: bound %d, live %d",
+						i+1, mr.EdgeIDBound, mr.M)
+				}
+			}
+		}
+	}
+	if compactions == 0 {
+		t.Fatalf("80 deletions on a 200-cycle never tripped the 1.2 hole trigger (%d passes)", passes)
+	}
+
+	fin := getStatus(t, ts.URL, st.ID)
+	ms := fin.Mutations
+	if ms == nil {
+		t.Fatal("no mutation summary after applied batches")
+	}
+	if ms.M != 120 || ms.EdgeIDBound < ms.M {
+		t.Fatalf("summary M %d (want 120), bound %d", ms.M, ms.EdgeIDBound)
+	}
+	if ms.MaintainPasses != passes || ms.Compactions != compactions {
+		t.Fatalf("summary counts passes=%d compactions=%d, stream saw %d/%d",
+			ms.MaintainPasses, ms.Compactions, passes, compactions)
+	}
+	if want := float64(ms.EdgeIDBound) / float64(ms.M); ms.HoleRatio != want {
+		t.Fatalf("hole ratio %v, want %v", ms.HoleRatio, want)
+	}
+}
+
+// TestMutateMaintainDefaultOff checks that a stream without the
+// maintain parameter never runs a pass: holes accumulate and no
+// maintenance reports appear, exactly the pre-maintenance behavior.
+func TestMutateMaintainDefaultOff(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	st := submit(t, ts.URL, `{"gen":{"family":"cycle","n":100},"seed":3}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+
+	var sb strings.Builder
+	for b := 0; b < 6; b++ {
+		fmt.Fprintf(&sb, `{"seq":%d,"muts":[{"op":"-","u":%d,"v":%d}]}`+"\n", b+1, b*10, b*10+1)
+	}
+	out := mutateNDJSON(t, ts.URL, st.ID, sb.String(), "")
+	for i, mr := range out {
+		if !mr.Applied {
+			t.Fatalf("batch %d not applied: %+v", i+1, mr)
+		}
+		if mr.Maintenance != nil {
+			t.Fatalf("batch %d ran maintenance without opting in: %+v", i+1, mr.Maintenance)
+		}
+	}
+	last := out[len(out)-1]
+	if last.M != 94 || last.EdgeIDBound != 100 {
+		t.Fatalf("after 6 deletes: M %d bound %d, want 94/100 (holes untouched)", last.M, last.EdgeIDBound)
+	}
+	if ms := getStatus(t, ts.URL, st.ID).Mutations; ms == nil || ms.MaintainPasses != 0 {
+		t.Fatalf("summary %+v: maintenance counted without opting in", ms)
+	}
+}
+
 func TestMutateConflictsForStrongAndUnfinished(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)

@@ -119,12 +119,16 @@ type job struct {
 	// snapshots updated under mu after each batch so status reads never
 	// touch the recolorer. Lock order: recMu before mu, never the
 	// reverse.
-	recMu       sync.Mutex
-	rec         *dynamic.Recolorer
-	mutBatches  int
-	mutM        int
-	mutColors   int
-	mutMaxColor int
+	recMu          sync.Mutex
+	rec            *dynamic.Recolorer
+	mutBatches     int
+	mutM           int
+	mutColors      int
+	mutMaxColor    int
+	mutIDBound     int
+	mutMaintain    int // maintenance passes run for this job
+	mutCompactions int
+	mutRebalances  int
 }
 
 // Server is the coloring service. It implements http.Handler; create
@@ -152,9 +156,10 @@ type Server struct {
 	submitted, rejected, done, failed, canceled *metrics.Counter
 	queued, running                             *metrics.Gauge
 	mutBatches, mutRejected, mutRepaired        *metrics.Counter
+	maintPasses, maintCompact, maintRebalance   *metrics.Counter
 	eventsDropped                               *metrics.Counter
 	eventSubs                                   *metrics.Gauge
-	queueWait, runTime, repairTime              *metrics.Histogram
+	queueWait, runTime, repairTime, maintTime   *metrics.Histogram
 }
 
 // latencyBucketsUsec are the bucket bounds, in microseconds, shared by
@@ -200,11 +205,16 @@ func New(cfg Config) *Server {
 		mutRejected: reg.Counter("serve_mutate_batches_rejected_total"),
 		mutRepaired: reg.Counter("serve_mutate_edges_repaired_total"),
 
+		maintPasses:    reg.Counter("serve_maintain_passes_total"),
+		maintCompact:   reg.Counter("serve_maintain_compactions_total"),
+		maintRebalance: reg.Counter("serve_maintain_rebalances_total"),
+
 		eventsDropped: reg.Counter("serve_events_dropped_total"),
 		eventSubs:     reg.Gauge("serve_event_subscribers"),
 		queueWait:     reg.Histogram("serve_queue_wait_usec", latencyBucketsUsec...),
 		runTime:       reg.Histogram("serve_run_usec", latencyBucketsUsec...),
 		repairTime:    reg.Histogram("serve_mutate_repair_usec", latencyBucketsUsec...),
+		maintTime:     reg.Histogram("serve_maintain_usec", latencyBucketsUsec...),
 	}
 	describeMetrics(reg)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -233,6 +243,10 @@ func describeMetrics(reg *metrics.Registry) {
 		"serve_mutate_batches_total":          "Mutation batches applied across all jobs.",
 		"serve_mutate_batches_rejected_total": "Mutation batches rejected atomically (validation failure).",
 		"serve_mutate_edges_repaired_total":   "Frontier edges recolored by incremental repair.",
+		"serve_maintain_passes_total":         "Maintenance passes run between mutation batches.",
+		"serve_maintain_compactions_total":    "Maintenance passes that compacted the edge-id space.",
+		"serve_maintain_rebalances_total":     "Maintenance passes that rebalanced colors off the palette top.",
+		"serve_maintain_usec":                 "Microseconds per maintenance pass (compaction + rebalance).",
 		"serve_events_dropped_total":          "Job-stream events dropped for slow SSE subscribers.",
 		"serve_event_subscribers":             "Live SSE subscriptions across all jobs.",
 		"serve_queue_wait_usec":               "Microseconds jobs spent queued before a worker picked them up.",

@@ -1,0 +1,25 @@
+#!/bin/sh
+# soak_smoke.sh — abbreviated churn soak for CI: ~10^4 mutations across
+# the three temporal workloads (sliding window, flash crowd,
+# preferential growth) with automatic maintenance on. The sweep itself
+# hard-asserts the long-run invariants at every epoch boundary (palette
+# <= 2Δ-1 under the current Δ, bounded hole ratio, valid coloring) and
+# replays every arm for determinism, so a zero exit is the verdict.
+# CI runs this as the soak-smoke job and uploads the report it writes
+# next to the committed full-scale baseline BENCH_PR7.json. POSIX sh.
+set -eu
+
+SCALE="${SOAK_SMOKE_SCALE:-0.01}"
+OUT="${SOAK_SMOKE_OUT:-BENCH_PR7.ci.json}"
+
+say() { echo "soak-smoke: $*"; }
+die() { say "FAIL: $*"; exit 1; }
+
+say "running dimabench -exp soak -scale $SCALE"
+go run ./cmd/dimabench -exp soak -scale "$SCALE" -bench-out "$OUT" \
+    || die "soak sweep failed (invariant violation or replay divergence)"
+
+[ -s "$OUT" ] || die "no report written to $OUT"
+grep -q '"deterministic": true' "$OUT" || die "report does not record determinism"
+grep -q '"verified": true' "$OUT" || die "report has no verified epochs"
+say "OK: report at $OUT"
