@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke load-smoke soak-smoke
+.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke load-smoke soak-smoke scale-smoke parallel-smoke
 
 all: build
 
@@ -54,5 +54,19 @@ load-smoke:
 # sweep (docs/PERFORMANCE.md). Writes BENCH_PR7.ci.json.
 soak-smoke:
 	sh scripts/soak_smoke.sh
+
+# Engine scale smoke: the reduced ladder on all engines, plus a
+# multi-worker sync-vs-shard arm whose coloring cross-check proves the
+# parallel path reproduces the sequential reference
+# (docs/PERFORMANCE.md).
+scale-smoke:
+	sh scripts/scale_smoke.sh
+
+# Shard worker-scaling smoke under the race detector: the reduced
+# parallel sweep at workers 1 and 8, colorings cross-checked against
+# RunSync inside the sweep (docs/PERFORMANCE.md). Writes
+# BENCH_PR8.ci.json.
+parallel-smoke:
+	sh scripts/parallel_smoke.sh
 
 check: build vet fmt-check test race

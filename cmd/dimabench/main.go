@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -73,11 +75,12 @@ func figures() []figure {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, dynamic, soak, or all")
+		exp      = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, parallel, dynamic, soak, or all")
 		scale    = flag.Float64("scale", 1.0, "fraction of the paper's 50 repetitions per cell (for -exp scale: graph-size multiplier)")
 		seed     = flag.Uint64("seed", 2012, "master seed")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); for -exp scale: shard engine worker count")
 		engSel   = flag.String("engine", "", "scale experiment: comma-separated engines to benchmark (default sync,chan,shard)")
+		wkrsSet  = flag.String("workers-set", "", "parallel experiment: comma-separated shard worker counts to sweep (0 = GOMAXPROCS; default 1,2,4,8,0)")
 		benchOut = flag.String("bench-out", "", "scale experiment: write the report as JSON to this file (e.g. BENCH_PR3.json)")
 		csvPath  = flag.String("csv", "", "also write the rounds series as CSV")
 		savePth  = flag.String("save", "", "persist raw runs as JSON (per figure: <fig>-<name>)")
@@ -298,6 +301,12 @@ func main() {
 		anyRan = true
 		runScale(*seed, *scale, *workers, *engSel, *benchOut)
 	}
+	// The parallel sweep is explicit-only for the same reason: at scale 1
+	// it colors a 10⁷-edge graph once per worker count.
+	if selected["parallel"] {
+		anyRan = true
+		runParallel(*seed, *scale, *wkrsSet, *benchOut)
+	}
 	// The dynamic sweep is explicit-only for the same reason: each batch
 	// costs a full recolor of the 10⁵-vertex instance for comparison.
 	if selected["dynamic"] {
@@ -328,7 +337,7 @@ func main() {
 		fmt.Println()
 	}
 	if !anyRan {
-		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, dynamic, soak, or all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, parallel, dynamic, soak, or all)", *exp))
 	}
 }
 
@@ -374,6 +383,70 @@ func runScale(seed uint64, scale float64, workers int, engineList, benchOut stri
 			fatal(err)
 		}
 		if err := experiment.WriteScaleReport(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", benchOut)
+	}
+	fmt.Println()
+}
+
+// runParallel executes the shard worker-scaling sweep
+// (docs/PERFORMANCE.md): the same Algorithm 1 run once on the sync
+// reference engine and once per shard worker count over an edge-count
+// ladder, recording wall-clock, allocations, delivery records, and
+// merge-bucket skips, and cross-checking every shard coloring against
+// the sync reference (-bench-out BENCH_PR8.json is the committed
+// baseline).
+func runParallel(seed uint64, scale float64, workersSet, benchOut string) {
+	cfg := experiment.DefaultParallelConfig(seed, scale)
+	if workersSet != "" {
+		cfg.WorkersSet = nil
+		for _, f := range strings.Split(workersSet, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || w < 0 {
+				usage(fmt.Errorf("-workers-set wants non-negative counts, got %q", f))
+			}
+			cfg.WorkersSet = append(cfg.WorkersSet, w)
+		}
+	}
+	fmt.Println("== parallel — shard worker scaling: wall-clock, allocations, delivery records per (workers, m)")
+	fmt.Printf("   er avg-deg=%g, edge ladder %v, workers %v, gomaxprocs=%d numcpu=%d\n\n",
+		cfg.AvgDeg, cfg.Edges, cfg.WorkersSet, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	t := stats.NewTable("engine", "workers", "n", "m", "rounds", "messages",
+		"deliveries", "records", "wallMS", "speedup", "allocs/edge")
+	start := time.Now()
+	rep, err := experiment.ParallelSweep(cfg, func(row experiment.ParallelRow) {
+		fmt.Fprintf(os.Stderr, "dimabench: parallel %s workers=%d m=%d done in %.0fms\n",
+			row.Engine, row.Workers, row.M, row.WallMS)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rep.Rows {
+		speedup := "-"
+		if row.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", row.Speedup)
+		}
+		records := "-"
+		if row.Records > 0 {
+			records = fmt.Sprintf("%d", row.Records)
+		}
+		t.AddRow(row.Engine, row.Workers, row.N, row.M, row.CompRounds, row.Messages,
+			row.Deliveries, records, fmt.Sprintf("%.1f", row.WallMS),
+			speedup, fmt.Sprintf("%.2f", row.AllocsPerEdge))
+	}
+	fmt.Println(t.String())
+	fmt.Printf("%d rows in %v; every shard coloring byte-identical to the sync reference\n",
+		len(rep.Rows), time.Since(start).Round(time.Millisecond))
+	if benchOut != "" {
+		f, err := os.Create(benchOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiment.WriteParallelReport(f, rep); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

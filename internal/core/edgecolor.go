@@ -66,11 +66,12 @@ func colorEdges(ctx context.Context, g *graph.Graph, forbidden []*ColorSet, opt 
 		observe = func(rt net.RoundTraffic) { traffic = append(traffic, rt) }
 	}
 	netRes, err := opt.engine()(g, nodes, net.Config{
-		MaxRounds: ecPhases * opt.maxCompRounds(),
-		Ctx:       ctx,
-		Fault:     opt.Fault,
-		Observe:   observe,
-		Workers:   opt.Workers,
+		MaxRounds:  ecPhases * opt.maxCompRounds(),
+		Ctx:        ctx,
+		Fault:      opt.Fault,
+		Observe:    observe,
+		Workers:    opt.Workers,
+		ShardStats: opt.ShardStats,
 	})
 	if err != nil {
 		return nil, err
@@ -148,7 +149,7 @@ type ecNode struct {
 	colors    map[graph.EdgeID]int // colors of own incident edges
 	uncolored []graph.EdgeID       // own incident edges not yet colored
 	usedSelf  ColorSet             // colors on own colored edges (live complement)
-	usedNbr   []*ColorSet          // usedNbr[i]: colors used by Neighbors(u)[i] (the dead list)
+	usedNbr   []ColorSet           // usedNbr[i]: colors used by Neighbors(u)[i] (the dead list)
 	nbrIndex  map[int]int          // neighbor vertex -> index in Neighbors(u)
 	forbid    *ColorSet            // externally forbidden colors (ColorEdgesConstrained), folded into usedSelf
 
@@ -191,7 +192,7 @@ func newECNode(g *graph.Graph, u int, r *rng.Rand, opt *Options) *ecNode {
 		r:        r,
 		mach:     automaton.NewMachine(u, opt.Hook),
 		colors:   make(map[graph.EdgeID]int, g.Degree(u)),
-		usedNbr:  make([]*ColorSet, g.Degree(u)),
+		usedNbr:  make([]ColorSet, g.Degree(u)),
 		nbrIndex: make(map[int]int, g.Degree(u)),
 	}
 	if opt.Recovery.Enabled {
@@ -199,7 +200,6 @@ func newECNode(g *graph.Graph, u int, r *rng.Rand, opt *Options) *ecNode {
 		n.attempts = make(map[graph.EdgeID]int)
 	}
 	for i, v := range g.Neighbors(u) {
-		n.usedNbr[i] = &ColorSet{}
 		n.nbrIndex[v] = i
 	}
 	n.uncolored = append(n.uncolored, g.IncidentEdges(u)...)
@@ -329,7 +329,7 @@ func (n *ecNode) phaseChooseInvite(inbox []msg.Message) []msg.Message {
 		}
 		e := n.uncolored[n.r.Intn(len(n.uncolored))]
 		v := n.g.EdgeAt(e).Other(n.id)
-		c := n.proposeColor(e, n.usedNbr[n.nbrIndex[v]])
+		c := n.proposeColor(e, &n.usedNbr[n.nbrIndex[v]])
 		if n.recOn() {
 			n.attempts[e]++
 		}

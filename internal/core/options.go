@@ -80,6 +80,11 @@ type Options struct {
 	// counters (Result.Participation), used to measure the pairing
 	// probability of the paper's Proposition 1 / Equation (1).
 	CollectParticipation bool
+	// ShardStats, when non-nil, is passed through to net.Config and
+	// filled by net.RunShard with its internal hot-path counters
+	// (resolved worker count, buffered delivery records, merge bucket
+	// activity). Other engines ignore it. Purely observational.
+	ShardStats *net.ShardStats
 	// Metrics, when non-nil, receives one metrics.RoundStats per
 	// computation round after the run completes: automaton activity,
 	// pairing and palette progress, and traffic split by message kind.

@@ -56,11 +56,12 @@ func ColorStrongCtx(ctx context.Context, d *graph.Digraph, opt Options) (*Result
 		observe = func(rt net.RoundTraffic) { traffic = append(traffic, rt) }
 	}
 	netRes, err := opt.engine()(g, nodes, net.Config{
-		MaxRounds: scPhases * opt.maxCompRounds(),
-		Ctx:       ctx,
-		Fault:     opt.Fault,
-		Observe:   observe,
-		Workers:   opt.Workers,
+		MaxRounds:  scPhases * opt.maxCompRounds(),
+		Ctx:        ctx,
+		Fault:      opt.Fault,
+		Observe:    observe,
+		Workers:    opt.Workers,
+		ShardStats: opt.ShardStats,
 	})
 	if err != nil {
 		return nil, err
@@ -145,7 +146,7 @@ type scNode struct {
 	colors       map[graph.ArcID]int // colors of incident arcs (both directions)
 	uncoloredOut []graph.ArcID       // outgoing arcs not yet colored
 	remaining    int                 // incident arcs (in+out) still uncolored
-	colorsAt     []*ColorSet         // colorsAt[i]: colors on arcs incident to Neighbors(u)[i]
+	colorsAt     []ColorSet          // colorsAt[i]: colors on arcs incident to Neighbors(u)[i]
 	colorsSelf   ColorSet            // colors on arcs incident to u itself
 	nbrIndex     map[int]int
 
@@ -154,9 +155,9 @@ type scNode struct {
 	// one-hop knowledge. Relaying the list gives each inviter a view of
 	// the responder's forbidden set through one-hop messages only
 	// (Algorithm 2 lines 2.23–2.24 and Procedure 2-c).
-	deadNbr   []*ColorSet // deadNbr[i]: colors Neighbors(u)[i] announced as dead for itself
-	announced ColorSet    // colors this node has already announced dead
-	deadQueue []int       // newly dead colors awaiting the next exchange
+	deadNbr   []ColorSet // deadNbr[i]: colors Neighbors(u)[i] announced as dead for itself
+	announced ColorSet   // colors this node has already announced dead
+	deadQueue []int      // newly dead colors awaiting the next exchange
 
 	// In-flight invitation (valid in I/W).
 	inviteArc   graph.ArcID
@@ -209,14 +210,12 @@ func newSCNode(d *graph.Digraph, u int, r *rng.Rand, opt *Options) *scNode {
 		mach:      automaton.NewMachine(u, opt.Hook),
 		colors:    make(map[graph.ArcID]int, 2*g.Degree(u)),
 		remaining: 2 * g.Degree(u),
-		colorsAt:  make([]*ColorSet, g.Degree(u)),
+		colorsAt:  make([]ColorSet, g.Degree(u)),
 		nbrIndex:  make(map[int]int, g.Degree(u)),
 		attempts:  make(map[graph.ArcID]int),
 	}
-	n.deadNbr = make([]*ColorSet, g.Degree(u))
+	n.deadNbr = make([]ColorSet, g.Degree(u))
 	for i, v := range g.Neighbors(u) {
-		n.colorsAt[i] = &ColorSet{}
-		n.deadNbr[i] = &ColorSet{}
 		n.nbrIndex[v] = i
 	}
 	n.uncoloredOut = append(n.uncoloredOut, d.OutArcs(u)...)
@@ -313,7 +312,9 @@ func (n *scNode) stepDone(compRound, phase int, inbox []msg.Message) []msg.Messa
 func (n *scNode) forbidden() []*ColorSet {
 	sets := make([]*ColorSet, 0, len(n.colorsAt)+1)
 	sets = append(sets, &n.colorsSelf)
-	sets = append(sets, n.colorsAt...)
+	for i := range n.colorsAt {
+		sets = append(sets, &n.colorsAt[i])
+	}
 	return sets
 }
 
@@ -391,7 +392,7 @@ func (n *scNode) phaseChooseInvite(compRound int, inbox []msg.Message) []msg.Mes
 // updates are in flight. Under the RandomAvailable rule every attempt is
 // randomized.
 func (n *scNode) proposeColor(a graph.ArcID, v int) int {
-	sets := append(n.forbidden(), n.deadNbr[n.nbrIndex[v]])
+	sets := append(n.forbidden(), &n.deadNbr[n.nbrIndex[v]])
 	// Most invitation failures are benign (the target was not listening
 	// or chose another suitor), and on average an arc needs ~4 attempts
 	// even without channel disagreement, so the window widens only every

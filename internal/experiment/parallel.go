@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"dima/internal/core"
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/metrics"
+	"dima/internal/net"
+	"dima/internal/rng"
+	"dima/internal/verify"
+)
+
+// The parallel sweep is the shard engine's worker-scaling benchmark:
+// the same Algorithm 1 run on the same Erdős–Rényi instance, once with
+// the sequential reference engine and once per worker count, over a
+// ladder of edge counts. Beyond wall-clock and allocations it records
+// the engine's internal delivery-record count (net.ShardStats), whose
+// ratio to messages is the fan-out amplification the merge-time
+// expansion removes, and it cross-checks that every worker count
+// reproduces the RunSync coloring exactly. Its JSON report is the
+// multicore benchmark baseline (BENCH_PR8.json; methodology in
+// docs/PERFORMANCE.md).
+
+// ParallelConfig configures ParallelSweep. DefaultParallelConfig fills
+// the standard ladder.
+type ParallelConfig struct {
+	// Seed determines the graph instances and run seeds.
+	Seed uint64
+	// Edges is the ladder of target edge counts, ascending. The vertex
+	// count of each rung is derived as 2·edges/AvgDeg.
+	Edges []int
+	// AvgDeg is the Erdős–Rényi average degree of every instance.
+	AvgDeg float64
+	// WorkersSet is the shard worker counts to sweep; entries <= 0 mean
+	// GOMAXPROCS. Duplicates collapse after resolution.
+	WorkersSet []int
+	// VerifyCap bounds full coloring verification by edge count; above
+	// it only the cross-engine equality check runs. 0 verifies all.
+	VerifyCap int
+}
+
+// DefaultParallelConfig returns the standard ladder {10⁶, 4·10⁶, 10⁷}
+// edges, each multiplied by scale with a floor of 2,000 edges, swept
+// over workers {1, 2, 4, 8, GOMAXPROCS}. Smoke runs use small scales;
+// scale 1 is the committed baseline protocol.
+func DefaultParallelConfig(seed uint64, scale float64) ParallelConfig {
+	var edges []int
+	for _, m := range []int{1_000_000, 4_000_000, 10_000_000} {
+		e := int(float64(m) * scale)
+		if e < 2_000 {
+			e = 2_000
+		}
+		if len(edges) == 0 || edges[len(edges)-1] != e {
+			edges = append(edges, e)
+		}
+	}
+	return ParallelConfig{
+		Seed:       seed,
+		Edges:      edges,
+		AvgDeg:     8,
+		WorkersSet: []int{1, 2, 4, 8, 0},
+		VerifyCap:  100_000,
+	}
+}
+
+// ParallelRow is one (engine, workers, size) cell of the sweep.
+type ParallelRow struct {
+	// Engine is "sync" for the reference row or "shard".
+	Engine string `json:"engine"`
+	// Workers is the resolved shard worker count (0 for the sync row).
+	Workers int `json:"workers,omitempty"`
+	N       int `json:"n"`
+	M       int `json:"m"`
+	Delta   int `json:"delta"`
+
+	CompRounds int   `json:"compRounds"`
+	CommRounds int   `json:"commRounds"`
+	Colors     int   `json:"colors"`
+	Messages   int64 `json:"messages"`
+	Deliveries int64 `json:"deliveries"`
+	// Records is the shard engine's buffered delivery-record count
+	// (net.ShardStats.Records); 0 for the sync row. Records/Messages is
+	// the physical fan-out amplification, bounded by the worker count on
+	// the reliable path — compare Deliveries/Messages ≈ average degree.
+	Records int64 `json:"records,omitempty"`
+	// MergeSkips is the number of empty (src,dst) merge buckets the
+	// non-empty pair tracking skipped (net.ShardStats.MergeSkips).
+	MergeSkips int64 `json:"mergeSkips,omitempty"`
+
+	WallMS  float64 `json:"wallMS"`
+	Allocs  uint64  `json:"allocs"`
+	AllocMB float64 `json:"allocMB"`
+	// AllocsPerEdge is Allocs / M, the "allocs/edge trending to zero"
+	// gauge for the arena layout.
+	AllocsPerEdge float64 `json:"allocsPerEdge"`
+	// Speedup is this row's wall-clock advantage over the shard
+	// workers=1 row of the same size (1.0 for that row itself); 0 when
+	// the sweep has no workers=1 rung to compare against.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// ParallelReport is the sweep's persistable outcome, including enough
+// of the configuration and environment to make the numbers comparable —
+// NumCPU in particular: worker counts beyond it cannot speed anything
+// up, they only prove determinism is preserved under oversubscription.
+type ParallelReport struct {
+	Seed       uint64        `json:"seed"`
+	AvgDeg     float64       `json:"avgDeg"`
+	WorkersSet []int         `json:"workersSet"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numCPU"`
+	GoVersion  string        `json:"goVersion"`
+	Rows       []ParallelRow `json:"rows"`
+}
+
+// ParallelSweep runs the benchmark. All runs within one size share the
+// graph instance and run seed, so their colorings must be identical to
+// the sync reference; any divergence is an error, not a slow row.
+func ParallelSweep(cfg ParallelConfig, progress func(ParallelRow)) (*ParallelReport, error) {
+	return ParallelSweepCtx(context.Background(), cfg, progress)
+}
+
+// ParallelSweepCtx is ParallelSweep bounded by ctx: cancellation aborts
+// the in-flight cell at its next round barrier and returns ctx's error.
+func ParallelSweepCtx(ctx context.Context, cfg ParallelConfig, progress func(ParallelRow)) (*ParallelReport, error) {
+	if cfg.AvgDeg <= 0 {
+		return nil, fmt.Errorf("experiment: parallel sweep needs a positive average degree, got %g", cfg.AvgDeg)
+	}
+	if len(cfg.Edges) == 0 {
+		return nil, fmt.Errorf("experiment: parallel sweep needs at least one edge-count rung")
+	}
+	workersSet := resolveWorkersSet(cfg.WorkersSet)
+	if len(workersSet) == 0 {
+		return nil, fmt.Errorf("experiment: parallel sweep needs at least one worker count")
+	}
+	rep := &ParallelReport{
+		Seed:       cfg.Seed,
+		AvgDeg:     cfg.AvgDeg,
+		WorkersSet: workersSet,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	base := rng.New(cfg.Seed)
+	for _, edges := range cfg.Edges {
+		n := int(2 * float64(edges) / cfg.AvgDeg)
+		if n < 2 {
+			n = 2
+		}
+		gr := base.Derive(uint64(n))
+		g, err := gen.ErdosRenyiAvgDegree(gr, n, cfg.AvgDeg)
+		if err != nil {
+			return nil, err
+		}
+		runSeed := gr.Uint64()
+
+		// Sequential reference: the coloring every shard run must equal.
+		syncRow, reference, err := parallelCell(ctx, g, "sync", 0, core.Options{Seed: runSeed})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.VerifyCap <= 0 || g.M() <= cfg.VerifyCap {
+			if v := verify.EdgeColoring(g, reference); len(v) != 0 {
+				return nil, fmt.Errorf("experiment: parallel sync m=%d: invalid coloring: %v", g.M(), v[0])
+			}
+		}
+		rep.Rows = append(rep.Rows, *syncRow)
+		if progress != nil {
+			progress(*syncRow)
+		}
+
+		var base1 float64 // workers=1 wall-clock, the speedup denominator
+		for _, w := range workersSet {
+			var ss net.ShardStats
+			opt := core.Options{Seed: runSeed, Engine: net.RunShard, Workers: w, ShardStats: &ss}
+			row, colors, err := parallelCell(ctx, g, "shard", w, opt)
+			if err != nil {
+				return nil, err
+			}
+			for i, c := range colors {
+				if c != reference[i] {
+					return nil, fmt.Errorf("experiment: parallel shard workers=%d m=%d: edge %d colored %d, sync says %d",
+						w, g.M(), i, c, reference[i])
+				}
+			}
+			row.Workers = ss.Workers
+			row.Records = ss.Records
+			row.MergeSkips = ss.MergeSkips
+			if w == 1 {
+				base1 = row.WallMS
+			}
+			if base1 > 0 && row.WallMS > 0 {
+				row.Speedup = base1 / row.WallMS
+			}
+			rep.Rows = append(rep.Rows, *row)
+			if progress != nil {
+				progress(*row)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// resolveWorkersSet maps <= 0 entries to GOMAXPROCS, then sorts and
+// deduplicates — {1,2,4,8,0} on a 8-way box collapses to {1,2,4,8}.
+func resolveWorkersSet(set []int) []int {
+	out := make([]int, 0, len(set))
+	for _, w := range set {
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	dedup := out[:0]
+	for i, w := range out {
+		if i == 0 || w != out[i-1] {
+			dedup = append(dedup, w)
+		}
+	}
+	return dedup
+}
+
+// parallelCell times one run and packages it as a row. The caller fills
+// the shard-specific columns.
+func parallelCell(ctx context.Context, g *graph.Graph, engine string, workers int, opt core.Options) (*ParallelRow, []int, error) {
+	var res *core.Result
+	var runErr error
+	start := time.Now()
+	alloc := metrics.MeasureAllocs(func() {
+		res, runErr = core.ColorEdgesCtx(ctx, g, opt)
+	})
+	wall := time.Since(start)
+	if runErr != nil {
+		return nil, nil, fmt.Errorf("experiment: parallel %s workers=%d m=%d: %v", engine, workers, g.M(), runErr)
+	}
+	if res.Aborted {
+		return nil, nil, fmt.Errorf("experiment: parallel %s workers=%d m=%d: %w", engine, workers, g.M(), ctx.Err())
+	}
+	if !res.Terminated {
+		return nil, nil, fmt.Errorf("experiment: parallel %s workers=%d m=%d: truncated at %d rounds",
+			engine, workers, g.M(), res.CompRounds)
+	}
+	row := &ParallelRow{
+		Engine:     engine,
+		N:          g.N(),
+		M:          g.M(),
+		Delta:      g.MaxDegree(),
+		CompRounds: res.CompRounds,
+		CommRounds: res.CommRounds,
+		Colors:     res.NumColors,
+		Messages:   res.Messages,
+		Deliveries: res.Deliveries,
+		WallMS:     float64(wall.Microseconds()) / 1000,
+		Allocs:     alloc.Allocs,
+		AllocMB:    float64(alloc.Bytes) / (1 << 20),
+	}
+	if g.M() > 0 {
+		row.AllocsPerEdge = float64(alloc.Allocs) / float64(g.M())
+	}
+	return row, res.Colors, nil
+}
+
+// WriteParallelReport writes the report as indented JSON.
+func WriteParallelReport(w io.Writer, rep *ParallelReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestParallelSweepSmall(t *testing.T) {
+	cfg := ParallelConfig{
+		Seed:       5,
+		Edges:      []int{600, 1_500},
+		AvgDeg:     6,
+		WorkersSet: []int{1, 2, 3},
+	}
+	var seen []ParallelRow
+	rep, err := ParallelSweep(cfg, func(row ParallelRow) { seen = append(seen, row) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per rung: one sync reference row plus one row per worker count.
+	want := len(cfg.Edges) * (1 + len(cfg.WorkersSet))
+	if len(rep.Rows) != want {
+		t.Fatalf("got %d rows, want %d: %+v", len(rep.Rows), want, rep.Rows)
+	}
+	if len(seen) != len(rep.Rows) {
+		t.Fatalf("progress callback saw %d rows, report has %d", len(seen), len(rep.Rows))
+	}
+	byM := map[int][]ParallelRow{}
+	for _, row := range rep.Rows {
+		byM[row.M] = append(byM[row.M], row)
+		if row.WallMS < 0 {
+			t.Fatalf("negative wall time: %+v", row)
+		}
+	}
+	for m, rows := range byM {
+		if rows[0].Engine != "sync" {
+			t.Fatalf("m=%d: first row is %q, want the sync reference", m, rows[0].Engine)
+		}
+		for _, row := range rows[1:] {
+			// The sweep already cross-checked the colorings; pin the
+			// reported protocol aggregates too.
+			if row.CompRounds != rows[0].CompRounds || row.Colors != rows[0].Colors ||
+				row.Messages != rows[0].Messages || row.Deliveries != rows[0].Deliveries {
+				t.Fatalf("m=%d: workers=%d disagrees with sync: %+v vs %+v", m, row.Workers, rows[0], row)
+			}
+			if row.Records <= 0 {
+				t.Fatalf("m=%d: shard row missing delivery records: %+v", m, row)
+			}
+			if row.Records > row.Deliveries {
+				t.Fatalf("m=%d: records %d exceed deliveries %d", m, row.Records, row.Deliveries)
+			}
+			// Reliable path: one record per (message, destination shard),
+			// so at most workers records per message.
+			if row.Records > row.Messages*int64(row.Workers) {
+				t.Fatalf("m=%d: records %d exceed messages×workers %d×%d", m, row.Records, row.Messages, row.Workers)
+			}
+			if row.Speedup <= 0 {
+				t.Fatalf("m=%d: workers=%d row has no speedup vs workers=1: %+v", m, row.Workers, row)
+			}
+		}
+	}
+}
+
+func TestResolveWorkersSet(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	got := resolveWorkersSet([]int{4, 0, 1, 4, gmp})
+	for i, w := range got {
+		if w <= 0 {
+			t.Fatalf("unresolved entry %d in %v", w, got)
+		}
+		if i > 0 && got[i-1] >= w {
+			t.Fatalf("not strictly ascending: %v", got)
+		}
+	}
+	hasOne, hasGMP := false, false
+	for _, w := range got {
+		hasOne = hasOne || w == 1
+		hasGMP = hasGMP || w == gmp
+	}
+	if !hasOne || !hasGMP {
+		t.Fatalf("resolved set %v missing 1 or GOMAXPROCS=%d", got, gmp)
+	}
+}

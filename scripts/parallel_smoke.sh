@@ -1,0 +1,29 @@
+#!/bin/sh
+# parallel_smoke.sh — abbreviated shard worker-scaling sweep for CI,
+# run under the race detector: the same Algorithm 1 instance colored at
+# workers=1 and workers=8 (oversubscribing small runners, which is the
+# point — barriers get scrambled schedules), with the sweep itself
+# asserting every shard coloring is byte-identical to the RunSync
+# reference. Writes the reduced-scale report next to the committed
+# full-scale baseline BENCH_PR8.json; CI uploads both. The timing
+# columns of a -race build are meaningless and the report is not a
+# benchmark — the artifact documents determinism and the record counts.
+# POSIX sh.
+set -eu
+
+SCALE="${PARALLEL_SMOKE_SCALE:-0.01}"
+WORKERS_SET="${PARALLEL_SMOKE_WORKERS:-1,8}"
+OUT="${PARALLEL_SMOKE_OUT:-BENCH_PR8.ci.json}"
+
+say() { echo "parallel-smoke: $*"; }
+die() { say "FAIL: $*"; exit 1; }
+
+say "running dimabench -exp parallel -scale $SCALE -workers-set $WORKERS_SET under -race"
+go run -race ./cmd/dimabench -exp parallel -scale "$SCALE" \
+    -workers-set "$WORKERS_SET" -bench-out "$OUT" \
+    || die "parallel sweep failed (coloring divergence aborts the sweep)"
+
+[ -s "$OUT" ] || die "no report written to $OUT"
+grep -q '"engine": "shard"' "$OUT" || die "report has no shard rows"
+grep -q '"records"' "$OUT" || die "report has no delivery-record counts"
+say "OK: report at $OUT"
