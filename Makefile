@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke load-smoke soak-smoke scale-smoke parallel-smoke
+.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke load-smoke soak-smoke scale-smoke parallel-smoke cluster-smoke
 
 all: build
 
@@ -68,5 +68,12 @@ scale-smoke:
 # BENCH_PR8.ci.json.
 parallel-smoke:
 	sh scripts/parallel_smoke.sh
+
+# Multi-process tcp engine smoke: a coordinator plus 4 node processes
+# over loopback color a ~10^5-edge graph, outputs diffed byte-for-byte
+# against the sync reference for both algorithms, plus an
+# operator-launched dimanode arm (docs/CLUSTER.md).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 check: build vet fmt-check test race

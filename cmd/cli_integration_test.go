@@ -4,11 +4,15 @@
 package cmd_test
 
 import (
+	"errors"
+	stdnet "net"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 var binDir string
@@ -19,7 +23,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"graphgen", "dimacolor", "dimaverify", "dimabench"} {
+	for _, tool := range []string{"graphgen", "dimacolor", "dimaverify", "dimabench", "dimanode"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
 		cmd.Dir = "."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -314,6 +318,211 @@ func TestDimaverifyStrongFlag(t *testing.T) {
 	stdout, _, err = run(t, "dimaverify", "-graph", gpath, "-coloring", cpath, "-strong")
 	if err != nil || !strings.Contains(stdout, "strong lower bound") {
 		t.Fatalf("arc -strong: %v\n%s", err, stdout)
+	}
+}
+
+// exitCode unwraps a run error into the process exit status (-1 when
+// the command failed some other way).
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// TestDimacolorTCPEngineMatchesSync is the CLI end of the tcp engine's
+// equivalence guarantee: the same run through -engine tcp with real
+// node processes must produce byte-identical coloring JSON and
+// per-round telemetry to -engine sync.
+func TestDimacolorTCPEngineMatchesSync(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	if _, stderr, err := run(t, "graphgen", "-family", "er", "-n", "80", "-deg", "6", "-seed", "9", "-o", gpath); err != nil {
+		t.Fatalf("graphgen: %v\n%s", err, stderr)
+	}
+	outputs := func(engine string, extra ...string) (string, []byte, []byte) {
+		t.Helper()
+		jsonPath := filepath.Join(dir, engine+".json")
+		metricsPath := filepath.Join(dir, engine+".jsonl")
+		args := append([]string{"-in", gpath, "-seed", "5", "-engine", engine,
+			"-json", jsonPath, "-metrics-out", metricsPath}, extra...)
+		stdout, stderr, err := run(t, "dimacolor", args...)
+		if err != nil {
+			t.Fatalf("dimacolor -engine %s: %v\n%s", engine, err, stderr)
+		}
+		coloring, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		telemetry, err := os.ReadFile(metricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout, coloring, telemetry
+	}
+	syncOut, syncColoring, syncTelemetry := outputs("sync")
+	tcpOut, tcpColoring, tcpTelemetry := outputs("tcp", "-nodes", "3")
+	if !strings.Contains(tcpOut, "terminated=true") || !strings.Contains(tcpOut, "engine=tcp") {
+		t.Fatalf("tcp output:\n%s", tcpOut)
+	}
+	if string(tcpColoring) != string(syncColoring) {
+		t.Fatalf("coloring JSON diverged:\nsync: %s\ntcp: %s", syncColoring, tcpColoring)
+	}
+	if string(tcpTelemetry) != string(syncTelemetry) {
+		t.Fatal("per-round telemetry JSONL diverged between sync and tcp")
+	}
+	// The result lines (colors, rounds, messages) must agree too.
+	wantLine := resultLine(t, syncOut)
+	if gotLine := resultLine(t, tcpOut); gotLine != wantLine {
+		t.Fatalf("result lines diverged:\nsync: %s\ntcp: %s", wantLine, gotLine)
+	}
+	// Strong coloring through the cluster as well.
+	syncStrong, _, err := run(t, "dimacolor", "-in", gpath, "-seed", "5", "-strong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpStrong, stderr, err := run(t, "dimacolor", "-in", gpath, "-seed", "5", "-strong", "-engine", "tcp", "-nodes", "2")
+	if err != nil {
+		t.Fatalf("strong tcp: %v\n%s", err, stderr)
+	}
+	if resultLine(t, tcpStrong) != resultLine(t, syncStrong) {
+		t.Fatalf("strong result lines diverged:\nsync: %s\ntcp: %s", syncStrong, tcpStrong)
+	}
+}
+
+func resultLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "result:") {
+			return line
+		}
+	}
+	t.Fatalf("no result line in:\n%s", out)
+	return ""
+}
+
+// TestDimacolorTCPFlagValidation sweeps hostile values of the tcp
+// engine's flags: every one must exit 2 (usage) before any socket or
+// process work happens.
+func TestDimacolorTCPFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	if _, _, err := run(t, "graphgen", "-family", "path", "-n", "4", "-o", gpath); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-engine", "tcp"},                                                    // no -nodes
+		{"-engine", "tcp", "-nodes", "0"},                                     // zero nodes
+		{"-engine", "tcp", "-nodes", "-3"},                                    // negative nodes
+		{"-engine", "tcp", "-nodes", "99999999"},                              // implausible nodes
+		{"-nodes", "4"},                                                       // -nodes without tcp
+		{"-listen", ":7600"},                                                  // -listen without tcp
+		{"-barrier-timeout", "5s"},                                            // -barrier-timeout without tcp
+		{"-external"},                                                         // -external without tcp
+		{"-engine", "tcp", "-nodes", "2", "-listen", "nonsense"},              // no port
+		{"-engine", "tcp", "-nodes", "2", "-listen", "host:99999"},            // port out of range
+		{"-engine", "tcp", "-nodes", "2", "-listen", "host:http"},             // non-numeric port
+		{"-engine", "tcp", "-nodes", "2", "-barrier-timeout", "-5s"},          // negative timeout
+		{"-engine", "tcp", "-nodes", "2", "-external"},                        // external without -listen
+		{"-engine", "tcp", "-nodes", "2", "-algo", "simple"},                  // baselines are in-process
+		{"-engine", "tcp", "-nodes", "2", "-trace"},                           // hooks cannot cross processes
+		{"-engine", "tcp", "-nodes", "2", "-workers", "3"},                    // -workers is shard-only
+		{"-engine", "tcp", "-nodes", "2", "-mutate", filepath.Join(dir, "x")}, // repair is in-process
+	}
+	for _, c := range cases {
+		args := append([]string{"-in", gpath}, c...)
+		_, stderr, err := run(t, "dimacolor", args...)
+		if err == nil {
+			t.Errorf("%v: accepted", c)
+			continue
+		}
+		if code := exitCode(err); code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr: %s)", c, code, stderr)
+		}
+	}
+}
+
+// TestDimanodeFlagValidation: the node binary's boundary checks also
+// exit 2 on hostile values, and never try to dial.
+func TestDimanodeFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                         // -connect required
+		{"-connect", "nonsense"},   // no port
+		{"-connect", "host:0"},     // port 0 is not dialable
+		{"-connect", "host:99999"}, // port out of range
+		{"-connect", "h:1", "-shards", "0", "-shard", "0"},          // no shards
+		{"-connect", "h:1", "-shards", "4", "-shard", "-1"},         // negative shard
+		{"-connect", "h:1", "-shards", "4", "-shard", "4"},          // shard out of range
+		{"-connect", "h:1", "-shards", "4", "-shard", "1", "extra"}, // stray operand
+	}
+	for _, c := range cases {
+		_, stderr, err := run(t, "dimanode", c...)
+		if err == nil {
+			t.Errorf("%v: accepted", c)
+			continue
+		}
+		if code := exitCode(err); code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr: %s)", c, code, stderr)
+		}
+	}
+}
+
+// TestDimanodeExternalPipeline drives the operator-launched layout end
+// to end: dimacolor waits with -external -listen, dimanode processes
+// dial in, and the run matches the plain sync result.
+func TestDimanodeExternalPipeline(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.graph")
+	if _, _, err := run(t, "graphgen", "-family", "er", "-n", "40", "-deg", "5", "-seed", "6", "-o", gpath); err != nil {
+		t.Fatal(err)
+	}
+	syncOut, _, err := run(t, "dimacolor", "-in", gpath, "-seed", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixed loopback port: pick one the kernel says is free right now.
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	const shards = 2
+	coord := exec.Command(filepath.Join(binDir, "dimacolor"),
+		"-in", gpath, "-seed", "8", "-engine", "tcp", "-nodes", "2", "-external", "-listen", addr)
+	var coordOut, coordErr strings.Builder
+	coord.Stdout, coord.Stderr = &coordOut, &coordErr
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*exec.Cmd
+	for s := 0; s < shards; s++ {
+		nd := exec.Command(filepath.Join(binDir, "dimanode"),
+			"-connect", addr, "-shard", strconv.Itoa(s), "-shards", strconv.Itoa(shards))
+		nd.Stderr = os.Stderr
+		nodes = append(nodes, nd)
+	}
+	// The coordinator needs a moment to bind; nodes retry the dial.
+	for _, nd := range nodes {
+		nd := nd
+		go func() {
+			for i := 0; i < 100; i++ {
+				fresh := exec.Command(nd.Path, nd.Args[1:]...)
+				fresh.Stderr = os.Stderr
+				if fresh.Run() == nil {
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}()
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, coordErr.String())
+	}
+	if resultLine(t, coordOut.String()) != resultLine(t, syncOut) {
+		t.Fatalf("external tcp result diverged:\nsync: %s\ntcp: %s", syncOut, coordOut.String())
 	}
 }
 

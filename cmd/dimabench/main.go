@@ -25,6 +25,7 @@ import (
 	"dima/internal/gen"
 	"dima/internal/graph"
 	"dima/internal/metrics"
+	"dima/internal/net"
 	"dima/internal/rng"
 	"dima/internal/stats"
 	"dima/internal/trace"
@@ -74,13 +75,18 @@ func figures() []figure {
 }
 
 func main() {
+	// A cluster-experiment coordinator spawning node processes re-execs
+	// this binary with the DIMA_NODE_* environment set; such a process is
+	// a cluster node, not a CLI, and never reaches flag parsing.
+	net.MaybeNodeMain()
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, parallel, dynamic, soak, or all")
+		exp      = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, parallel, cluster, dynamic, soak, or all")
 		scale    = flag.Float64("scale", 1.0, "fraction of the paper's 50 repetitions per cell (for -exp scale: graph-size multiplier)")
 		seed     = flag.Uint64("seed", 2012, "master seed")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); for -exp scale: shard engine worker count")
 		engSel   = flag.String("engine", "", "scale experiment: comma-separated engines to benchmark (default sync,chan,shard)")
 		wkrsSet  = flag.String("workers-set", "", "parallel experiment: comma-separated shard worker counts to sweep (0 = GOMAXPROCS; default 1,2,4,8,0)")
+		nodesSet = flag.String("nodes-set", "", "cluster experiment: comma-separated node-process counts to sweep (default 1,2,4)")
 		benchOut = flag.String("bench-out", "", "scale experiment: write the report as JSON to this file (e.g. BENCH_PR3.json)")
 		csvPath  = flag.String("csv", "", "also write the rounds series as CSV")
 		savePth  = flag.String("save", "", "persist raw runs as JSON (per figure: <fig>-<name>)")
@@ -307,6 +313,13 @@ func main() {
 		anyRan = true
 		runParallel(*seed, *scale, *wkrsSet, *benchOut)
 	}
+	// The cluster sweep is explicit-only: every rung spawns real node
+	// processes per cell and pushes the whole message volume through
+	// loopback sockets.
+	if selected["cluster"] {
+		anyRan = true
+		runCluster(*seed, *scale, *nodesSet, *benchOut)
+	}
 	// The dynamic sweep is explicit-only for the same reason: each batch
 	// costs a full recolor of the 10⁵-vertex instance for comparison.
 	if selected["dynamic"] {
@@ -337,7 +350,7 @@ func main() {
 		fmt.Println()
 	}
 	if !anyRan {
-		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, parallel, dynamic, soak, or all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig3, fig4, fig5, fig6, compare, converge, pairprob, fits, telemetry, faults, scale, parallel, cluster, dynamic, soak, or all)", *exp))
 	}
 }
 
@@ -447,6 +460,63 @@ func runParallel(seed uint64, scale float64, workersSet, benchOut string) {
 			fatal(err)
 		}
 		if err := experiment.WriteParallelReport(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", benchOut)
+	}
+	fmt.Println()
+}
+
+// runCluster executes the tcp engine's process-scaling sweep
+// (docs/CLUSTER.md): the same Algorithm 1 run once on the sync
+// reference engine and once per node-process count over an edge-count
+// ladder, recording wall-clock and wire volume and cross-checking every
+// cluster coloring against the sync reference element-wise.
+func runCluster(seed uint64, scale float64, nodesSet, benchOut string) {
+	cfg := experiment.DefaultClusterConfig(seed, scale)
+	if nodesSet != "" {
+		cfg.NodesSet = nil
+		for _, f := range strings.Split(nodesSet, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || k < 1 {
+				usage(fmt.Errorf("-nodes-set wants positive counts, got %q", f))
+			}
+			cfg.NodesSet = append(cfg.NodesSet, k)
+		}
+	}
+	fmt.Println("== cluster — tcp process scaling: wall-clock and wire volume per (nodes, m)")
+	fmt.Printf("   er avg-deg=%g, edge ladder %v, nodes %v, gomaxprocs=%d numcpu=%d\n\n",
+		cfg.AvgDeg, cfg.Edges, cfg.NodesSet, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	t := stats.NewTable("engine", "nodes", "n", "m", "rounds", "messages",
+		"deliveries", "bytes", "wallMS", "overhead")
+	start := time.Now()
+	rep, err := experiment.ClusterSweep(cfg, func(row experiment.ClusterRow) {
+		fmt.Fprintf(os.Stderr, "dimabench: cluster %s nodes=%d m=%d done in %.0fms\n",
+			row.Engine, row.Nodes, row.M, row.WallMS)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rep.Rows {
+		overhead := "-"
+		if row.Overhead > 0 {
+			overhead = fmt.Sprintf("%.2fx", row.Overhead)
+		}
+		t.AddRow(row.Engine, row.Nodes, row.N, row.M, row.CompRounds, row.Messages,
+			row.Deliveries, row.Bytes, fmt.Sprintf("%.1f", row.WallMS), overhead)
+	}
+	fmt.Println(t.String())
+	fmt.Printf("%d rows in %v; every cluster coloring byte-identical to the sync reference\n",
+		len(rep.Rows), time.Since(start).Round(time.Millisecond))
+	if benchOut != "" {
+		f, err := os.Create(benchOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiment.WriteClusterReport(f, rep); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

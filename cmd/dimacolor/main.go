@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	stdnet "net"
 	"os"
 	"strconv"
 
@@ -36,14 +37,22 @@ import (
 )
 
 func main() {
+	// A coordinator spawning node processes re-execs this binary with the
+	// DIMA_NODE_* environment set; in that case the process is a cluster
+	// node, not a CLI, and never reaches flag parsing.
+	net.MaybeNodeMain()
 	var (
 		in       = flag.String("in", "", "input graph file (default stdin)")
 		algo     = flag.String("algo", "dima", "algorithm: dima (paper), simple (prior-work ref 10), tree (deterministic wave, forests only)")
 		strong   = flag.Bool("strong", false, "run Algorithm 2 (strong distance-2 coloring)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		reps     = flag.Int("reps", 1, "run this many seeds (seed, seed+1, ...) and report statistics")
-		engine   = flag.String("engine", "sync", "runtime: sync (sequential), chan (goroutine per vertex), or shard (worker shards)")
+		engine   = flag.String("engine", "sync", "runtime: sync (sequential), chan (goroutine per vertex), shard (worker shards), or tcp (node processes over TCP)")
 		workers  = flag.Int("workers", 0, "shard engine worker count (0 = GOMAXPROCS; only with -engine shard)")
+		nodes    = flag.Int("nodes", 0, "tcp engine node process count (only with -engine tcp)")
+		listen   = flag.String("listen", "", "tcp engine coordinator listen address (default: a kernel-assigned loopback port; only with -engine tcp)")
+		barrier  = flag.Duration("barrier-timeout", 0, "tcp engine per-round-barrier timeout (0 = 30s default; only with -engine tcp)")
+		external = flag.Bool("external", false, "tcp engine: do not spawn node processes; wait for operator-launched dimanode processes on -listen")
 		rule     = flag.String("rule", "lowest", "color proposal rule: lowest or random")
 		jsonOut  = flag.String("json", "", "write the coloring as JSON to this file")
 		showTr   = flag.Bool("trace", false, "print per-node automaton timelines (small graphs)")
@@ -85,11 +94,59 @@ func main() {
 	case "shard":
 		opt.Engine = net.RunShard
 		opt.Workers = *workers
+	case "tcp":
+		if *nodes < 1 {
+			usage(fmt.Errorf("-engine tcp wants -nodes >= 1, got %d", *nodes))
+		}
+		opt.Cluster = &net.TCPCluster{
+			Nodes:          *nodes,
+			Listen:         *listen,
+			BarrierTimeout: *barrier,
+			External:       *external,
+		}
 	default:
 		usage(fmt.Errorf("unknown engine %q", *engine))
 	}
 	if *workers != 0 && *engine != "shard" {
 		usage(fmt.Errorf("-workers requires -engine shard"))
+	}
+	if *engine != "tcp" {
+		if *nodes != 0 {
+			usage(fmt.Errorf("-nodes requires -engine tcp"))
+		}
+		if *listen != "" {
+			usage(fmt.Errorf("-listen requires -engine tcp"))
+		}
+		if *barrier != 0 {
+			usage(fmt.Errorf("-barrier-timeout requires -engine tcp"))
+		}
+		if *external {
+			usage(fmt.Errorf("-external requires -engine tcp"))
+		}
+	} else {
+		if *nodes > 1<<16 {
+			usage(fmt.Errorf("-nodes wants at most %d processes, got %d", 1<<16, *nodes))
+		}
+		if *barrier < 0 {
+			usage(fmt.Errorf("-barrier-timeout wants a non-negative duration, got %v", *barrier))
+		}
+		if *listen != "" {
+			if err := checkListenAddr(*listen); err != nil {
+				usage(err)
+			}
+		}
+		if *external && *listen == "" {
+			usage(fmt.Errorf("-external needs -listen: operator-launched nodes must know where to dial"))
+		}
+		if *algo != "dima" {
+			usage(fmt.Errorf("-engine tcp requires -algo dima"))
+		}
+		if *showTr || *traceOut != "" || *pprofAddr != "" {
+			usage(fmt.Errorf("-trace, -trace-out, and -pprof need in-process automaton hooks; they do not combine with -engine tcp"))
+		}
+		if *mutate != "" {
+			usage(fmt.Errorf("-mutate repairs in-process; it does not combine with -engine tcp"))
+		}
 	}
 	switch *rule {
 	case "lowest":
@@ -448,6 +505,22 @@ func runStats(g *graph.Graph, opt core.Options, algo string, strong bool, reps i
 	}
 	fmt.Println()
 	fmt.Printf("messages: mean %.0f\n", msgs.Mean())
+}
+
+// checkListenAddr rejects a malformed -listen value before any socket
+// work: it must be host:port with a numeric port in [0, 65535] (port 0
+// asks the kernel for a free one).
+func checkListenAddr(addr string) error {
+	host, port, err := stdnet.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-listen wants host:port, got %q: %v", addr, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("-listen wants a numeric port in [0, 65535], got %q", port)
+	}
+	_ = host // an empty host means all interfaces; any name is resolved at bind time
+	return nil
 }
 
 func readGraph(path string) (*graph.Graph, error) {

@@ -98,6 +98,26 @@ var Chan = net.RunChan
 // to the default sequential runtime for any worker count.
 var Shard = net.RunShard
 
+// TCPCluster configures the multi-process tcp engine: assign
+// &TCPCluster{Nodes: k} to Options.Cluster to run k node processes,
+// each owning a contiguous vertex shard, speaking the binary codec over
+// TCP (docs/CLUSTER.md). Results are byte-identical to the in-process
+// engines. Spawn-mode binaries must call MaybeNodeMain first thing in
+// main.
+type TCPCluster = net.TCPCluster
+
+// NodeError is the typed failure of a cluster run: which node process
+// (shard) failed, at which round, and why — a crashed, hung, or
+// protocol-violating node is reported this way, never as a silent
+// partial coloring.
+type NodeError = net.NodeError
+
+// MaybeNodeMain turns the current process into a cluster node when the
+// coordinator's spawn environment is present, then exits; otherwise it
+// is a no-op. Call it at the top of main in any binary that runs
+// cluster colorings with an empty TCPCluster.Command.
+func MaybeNodeMain() { net.MaybeNodeMain() }
+
 // ColorEdges runs Algorithm 1 on g: a proper edge coloring using at most
 // 2Δ-1 colors in O(Δ) expected computation rounds.
 func ColorEdges(g *Graph, opt Options) (*Result, error) {

@@ -50,6 +50,13 @@ func colorEdges(ctx context.Context, g *graph.Graph, forbidden []*ColorSet, opt 
 		return nil, fmt.Errorf("core: graph has removal holes (%d ids, %d edges); compact before coloring",
 			g.EdgeIDBound(), g.M())
 	}
+	engine := opt.engine()
+	if opt.Cluster != nil {
+		var err error
+		if engine, err = opt.clusterEngine(edgeFactoryName, forbidden != nil); err != nil {
+			return nil, err
+		}
+	}
 	base := rng.New(opt.Seed)
 	nodes := make([]net.Node, g.N())
 	ecs := make([]*ecNode, g.N())
@@ -65,7 +72,7 @@ func colorEdges(ctx context.Context, g *graph.Graph, forbidden []*ColorSet, opt 
 	if opt.Metrics != nil {
 		observe = func(rt net.RoundTraffic) { traffic = append(traffic, rt) }
 	}
-	netRes, err := opt.engine()(g, nodes, net.Config{
+	netRes, err := engine(g, nodes, net.Config{
 		MaxRounds:  ecPhases * opt.maxCompRounds(),
 		Ctx:        ctx,
 		Fault:      opt.Fault,

@@ -45,6 +45,13 @@ type Options struct {
 	// Workers is the shard count passed to the engine via
 	// net.Config.Workers; 0 means GOMAXPROCS. Only net.RunShard uses it.
 	Workers int
+	// Cluster, when non-nil, runs the protocol on the multi-process TCP
+	// engine (net.RunTCP): Cluster.Nodes separate OS processes each own
+	// a contiguous vertex shard, coordinated over loopback or a real
+	// network, with results byte-identical to the in-process engines.
+	// Mutually exclusive with Engine; Hook must be nil (an automaton
+	// hook cannot observe nodes in another process).
+	Cluster *net.TCPCluster
 	// MaxCompRounds bounds the number of computation rounds; 0 means
 	// 100,000. Hitting the bound yields Terminated == false.
 	MaxCompRounds int

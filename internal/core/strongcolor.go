@@ -43,6 +43,13 @@ func ColorStrong(d *graph.Digraph, opt Options) (*Result, error) {
 // options, on every engine.
 func ColorStrongCtx(ctx context.Context, d *graph.Digraph, opt Options) (*Result, error) {
 	g := d.Under()
+	engine := opt.engine()
+	if opt.Cluster != nil {
+		var err error
+		if engine, err = opt.clusterEngine(strongFactoryName, false); err != nil {
+			return nil, err
+		}
+	}
 	base := rng.New(opt.Seed)
 	nodes := make([]net.Node, g.N())
 	scs := make([]*scNode, g.N())
@@ -55,7 +62,7 @@ func ColorStrongCtx(ctx context.Context, d *graph.Digraph, opt Options) (*Result
 	if opt.Metrics != nil {
 		observe = func(rt net.RoundTraffic) { traffic = append(traffic, rt) }
 	}
-	netRes, err := opt.engine()(g, nodes, net.Config{
+	netRes, err := engine(g, nodes, net.Config{
 		MaxRounds:  scPhases * opt.maxCompRounds(),
 		Ctx:        ctx,
 		Fault:      opt.Fault,

@@ -1,0 +1,259 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"dima/internal/core"
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/net"
+	"dima/internal/rng"
+	"dima/internal/verify"
+)
+
+// The cluster sweep is the tcp engine's process-scaling benchmark and
+// its standing equivalence audit: the same Algorithm 1 run on the same
+// Erdős–Rényi instance, once with the sequential reference engine and
+// once per node-process count, over a ladder of edge counts. Wall-clock
+// here is dominated by serialization and loopback round-trips, not by
+// parallel speedup — the interesting columns are the per-round byte
+// volume the wire carries and the overhead factor against the sync row.
+// Every cluster coloring is cross-checked element-wise against the sync
+// reference; any divergence is an error, not a slow row.
+
+// ClusterConfig configures ClusterSweep. DefaultClusterConfig fills the
+// standard ladder.
+type ClusterConfig struct {
+	// Seed determines the graph instances and run seeds.
+	Seed uint64
+	// Edges is the ladder of target edge counts, ascending. The vertex
+	// count of each rung is derived as 2·edges/AvgDeg.
+	Edges []int
+	// AvgDeg is the Erdős–Rényi average degree of every instance.
+	AvgDeg float64
+	// NodesSet is the node-process counts to sweep; every entry must be
+	// positive. Duplicates collapse.
+	NodesSet []int
+	// BarrierTimeout is passed to every cluster run; 0 means the engine
+	// default.
+	BarrierTimeout time.Duration
+	// VerifyCap bounds full coloring verification by edge count; above
+	// it only the cross-engine equality check runs. 0 verifies all.
+	VerifyCap int
+}
+
+// DefaultClusterConfig returns the standard ladder {10⁴, 10⁵} edges,
+// each multiplied by scale with a floor of 2,000 edges, swept over
+// {1, 2, 4} node processes. The rungs are an order of magnitude below
+// the in-process parallel sweep's: every message crosses a socket here.
+func DefaultClusterConfig(seed uint64, scale float64) ClusterConfig {
+	var edges []int
+	for _, m := range []int{10_000, 100_000} {
+		e := int(float64(m) * scale)
+		if e < 2_000 {
+			e = 2_000
+		}
+		if len(edges) == 0 || edges[len(edges)-1] != e {
+			edges = append(edges, e)
+		}
+	}
+	return ClusterConfig{
+		Seed:      seed,
+		Edges:     edges,
+		AvgDeg:    8,
+		NodesSet:  []int{1, 2, 4},
+		VerifyCap: 200_000,
+	}
+}
+
+// ClusterRow is one (engine, nodes, size) cell of the sweep.
+type ClusterRow struct {
+	// Engine is "sync" for the reference row or "tcp".
+	Engine string `json:"engine"`
+	// Nodes is the node-process count (0 for the sync row).
+	Nodes int `json:"nodes,omitempty"`
+	N     int `json:"n"`
+	M     int `json:"m"`
+	Delta int `json:"delta"`
+
+	CompRounds int   `json:"compRounds"`
+	CommRounds int   `json:"commRounds"`
+	Colors     int   `json:"colors"`
+	Messages   int64 `json:"messages"`
+	Deliveries int64 `json:"deliveries"`
+	// Bytes is the protocol payload volume (identical across engines by
+	// the equivalence guarantee; the wire additionally pays framing).
+	Bytes int64 `json:"bytes"`
+
+	WallMS float64 `json:"wallMS"`
+	// Overhead is this row's wall-clock ratio to the sync row of the
+	// same size (1.0 for the sync row itself) — the price of crossing
+	// process boundaries.
+	Overhead float64 `json:"overhead,omitempty"`
+}
+
+// ClusterReport is the sweep's persistable outcome.
+type ClusterReport struct {
+	Seed       uint64       `json:"seed"`
+	AvgDeg     float64      `json:"avgDeg"`
+	NodesSet   []int        `json:"nodesSet"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numCPU"`
+	GoVersion  string       `json:"goVersion"`
+	Rows       []ClusterRow `json:"rows"`
+}
+
+// ClusterSweep runs the benchmark. All runs within one size share the
+// graph instance and run seed, so their colorings must be identical to
+// the sync reference; any divergence is an error.
+func ClusterSweep(cfg ClusterConfig, progress func(ClusterRow)) (*ClusterReport, error) {
+	return ClusterSweepCtx(context.Background(), cfg, progress)
+}
+
+// ClusterSweepCtx is ClusterSweep bounded by ctx: cancellation aborts
+// the in-flight cell at its next round barrier and returns ctx's error.
+func ClusterSweepCtx(ctx context.Context, cfg ClusterConfig, progress func(ClusterRow)) (*ClusterReport, error) {
+	if cfg.AvgDeg <= 0 {
+		return nil, fmt.Errorf("experiment: cluster sweep needs a positive average degree, got %g", cfg.AvgDeg)
+	}
+	if len(cfg.Edges) == 0 {
+		return nil, fmt.Errorf("experiment: cluster sweep needs at least one edge-count rung")
+	}
+	nodesSet, err := resolveNodesSet(cfg.NodesSet)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ClusterReport{
+		Seed:       cfg.Seed,
+		AvgDeg:     cfg.AvgDeg,
+		NodesSet:   nodesSet,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	base := rng.New(cfg.Seed)
+	for _, edges := range cfg.Edges {
+		n := int(2 * float64(edges) / cfg.AvgDeg)
+		if n < 2 {
+			n = 2
+		}
+		gr := base.Derive(uint64(n))
+		g, err := gen.ErdosRenyiAvgDegree(gr, n, cfg.AvgDeg)
+		if err != nil {
+			return nil, err
+		}
+		runSeed := gr.Uint64()
+
+		syncRow, reference, err := clusterCell(ctx, g, "sync", 0, core.Options{Seed: runSeed})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.VerifyCap <= 0 || g.M() <= cfg.VerifyCap {
+			if v := verify.EdgeColoring(g, reference); len(v) != 0 {
+				return nil, fmt.Errorf("experiment: cluster sync m=%d: invalid coloring: %v", g.M(), v[0])
+			}
+		}
+		rep.Rows = append(rep.Rows, *syncRow)
+		if progress != nil {
+			progress(*syncRow)
+		}
+
+		for _, k := range nodesSet {
+			opt := core.Options{Seed: runSeed, Cluster: &net.TCPCluster{
+				Nodes:          k,
+				BarrierTimeout: cfg.BarrierTimeout,
+			}}
+			row, colors, err := clusterCell(ctx, g, "tcp", k, opt)
+			if err != nil {
+				return nil, err
+			}
+			for i, c := range colors {
+				if c != reference[i] {
+					return nil, fmt.Errorf("experiment: cluster tcp nodes=%d m=%d: edge %d colored %d, sync says %d",
+						k, g.M(), i, c, reference[i])
+				}
+			}
+			if row.CompRounds != syncRow.CompRounds || row.Messages != syncRow.Messages ||
+				row.Bytes != syncRow.Bytes || row.Deliveries != syncRow.Deliveries {
+				return nil, fmt.Errorf("experiment: cluster tcp nodes=%d m=%d: traffic diverged from sync (rounds %d/%d, messages %d/%d)",
+					k, g.M(), row.CompRounds, syncRow.CompRounds, row.Messages, syncRow.Messages)
+			}
+			if syncRow.WallMS > 0 && row.WallMS > 0 {
+				row.Overhead = row.WallMS / syncRow.WallMS
+			}
+			rep.Rows = append(rep.Rows, *row)
+			if progress != nil {
+				progress(*row)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// resolveNodesSet sorts and deduplicates, rejecting non-positive
+// entries — a zero node count has no meaning for separate processes.
+func resolveNodesSet(set []int) ([]int, error) {
+	if len(set) == 0 {
+		return nil, fmt.Errorf("experiment: cluster sweep needs at least one node count")
+	}
+	out := append([]int(nil), set...)
+	for _, k := range out {
+		if k < 1 {
+			return nil, fmt.Errorf("experiment: cluster sweep needs positive node counts, got %d", k)
+		}
+	}
+	sort.Ints(out)
+	dedup := out[:0]
+	for i, k := range out {
+		if i == 0 || k != out[i-1] {
+			dedup = append(dedup, k)
+		}
+	}
+	return dedup, nil
+}
+
+// clusterCell times one run and packages it as a row.
+func clusterCell(ctx context.Context, g *graph.Graph, engine string, nodes int, opt core.Options) (*ClusterRow, []int, error) {
+	// No allocation accounting here: most of the work happens in child
+	// processes, where this process's allocator counters cannot see it.
+	start := time.Now()
+	res, runErr := core.ColorEdgesCtx(ctx, g, opt)
+	wall := time.Since(start)
+	if runErr != nil {
+		return nil, nil, fmt.Errorf("experiment: cluster %s nodes=%d m=%d: %v", engine, nodes, g.M(), runErr)
+	}
+	if res.Aborted {
+		return nil, nil, fmt.Errorf("experiment: cluster %s nodes=%d m=%d: %w", engine, nodes, g.M(), ctx.Err())
+	}
+	if !res.Terminated {
+		return nil, nil, fmt.Errorf("experiment: cluster %s nodes=%d m=%d: truncated at %d rounds",
+			engine, nodes, g.M(), res.CompRounds)
+	}
+	return &ClusterRow{
+		Engine:     engine,
+		Nodes:      nodes,
+		N:          g.N(),
+		M:          g.M(),
+		Delta:      g.MaxDegree(),
+		CompRounds: res.CompRounds,
+		CommRounds: res.CommRounds,
+		Colors:     res.NumColors,
+		Messages:   res.Messages,
+		Deliveries: res.Deliveries,
+		Bytes:      res.Bytes,
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+	}, res.Colors, nil
+}
+
+// WriteClusterReport writes the report as indented JSON.
+func WriteClusterReport(w io.Writer, rep *ClusterReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"os"
+	"testing"
+
+	"dima/internal/net"
+)
+
+// TestMain lets this test binary double as the cluster node binary:
+// ClusterSweep's runs spawn node processes by re-exec'ing the current
+// executable, and the package's core import has registered the real
+// node factories by the time MaybeNodeMain runs the shard.
+func TestMain(m *testing.M) {
+	net.MaybeNodeMain()
+	os.Exit(m.Run())
+}
+
+func TestClusterSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns node processes")
+	}
+	cfg := ClusterConfig{
+		Seed:     5,
+		Edges:    []int{600, 1_500},
+		AvgDeg:   6,
+		NodesSet: []int{1, 3},
+	}
+	var seen []ClusterRow
+	rep, err := ClusterSweep(cfg, func(row ClusterRow) { seen = append(seen, row) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per rung: one sync reference row plus one row per node count.
+	want := len(cfg.Edges) * (1 + len(cfg.NodesSet))
+	if len(rep.Rows) != want {
+		t.Fatalf("got %d rows, want %d: %+v", len(rep.Rows), want, rep.Rows)
+	}
+	if len(seen) != len(rep.Rows) {
+		t.Fatalf("progress callback saw %d rows, report has %d", len(seen), len(rep.Rows))
+	}
+	byM := map[int][]ClusterRow{}
+	for _, row := range rep.Rows {
+		byM[row.M] = append(byM[row.M], row)
+		if row.WallMS < 0 {
+			t.Fatalf("negative wall time: %+v", row)
+		}
+	}
+	for m, rows := range byM {
+		if rows[0].Engine != "sync" || rows[0].Nodes != 0 {
+			t.Fatalf("m=%d: first row is %+v, want the sync reference", m, rows[0])
+		}
+		for _, row := range rows[1:] {
+			// The sweep already cross-checked colorings and traffic; pin
+			// the reported aggregates and the overhead bookkeeping too.
+			if row.Engine != "tcp" {
+				t.Fatalf("m=%d: row engine %q, want tcp", m, row.Engine)
+			}
+			if row.CompRounds != rows[0].CompRounds || row.Colors != rows[0].Colors ||
+				row.Messages != rows[0].Messages || row.Bytes != rows[0].Bytes {
+				t.Fatalf("m=%d: nodes=%d disagrees with sync: %+v vs %+v", m, row.Nodes, rows[0], row)
+			}
+			if row.Overhead <= 0 {
+				t.Fatalf("m=%d: nodes=%d row has no overhead ratio: %+v", m, row.Nodes, row)
+			}
+		}
+	}
+}
+
+func TestClusterSweepRejectsBadConfig(t *testing.T) {
+	base := ClusterConfig{Seed: 1, Edges: []int{100}, AvgDeg: 4, NodesSet: []int{1}}
+
+	bad := base
+	bad.AvgDeg = 0
+	if _, err := ClusterSweep(bad, nil); err == nil {
+		t.Fatal("zero average degree accepted")
+	}
+	bad = base
+	bad.Edges = nil
+	if _, err := ClusterSweep(bad, nil); err == nil {
+		t.Fatal("empty edge ladder accepted")
+	}
+	bad = base
+	bad.NodesSet = nil
+	if _, err := ClusterSweep(bad, nil); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+	bad = base
+	bad.NodesSet = []int{0}
+	if _, err := ClusterSweep(bad, nil); err == nil {
+		t.Fatal("zero node count accepted")
+	}
+}

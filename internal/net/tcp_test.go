@@ -1,0 +1,518 @@
+package net_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	stdnet "net"
+	"os"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dima/internal/graph"
+	"dima/internal/msg"
+	"dima/internal/net"
+)
+
+// TestMain lets this test binary serve as its own node process: RunTCP
+// with an empty Command re-execs the running binary, and MaybeNodeMain
+// diverts spawned copies into the node loop before any test runs.
+func TestMain(m *testing.M) {
+	net.MaybeNodeMain()
+	os.Exit(m.Run())
+}
+
+func init() {
+	net.RegisterNodeFactory("test/gossip/v1", gossipFactory)
+	net.RegisterNodeFactory("test/kill/v1", killFactory)
+	net.RegisterNodeFactory("test/hang/v1", hangFactory)
+}
+
+// gossipNode is a deterministic test protocol: for `rounds` rounds each
+// node broadcasts one message tagged with its id and the round, and
+// folds everything it hears into a running sum plus a per-round receipt
+// log. The sum and log make up its harvestable state, so the test can
+// compare remote executions field by field against RunSync.
+type gossipNode struct {
+	id     int
+	rounds int
+	sum    int64
+	log    []int
+}
+
+func gossipSpec(rounds int) []byte { return binary.AppendUvarint(nil, uint64(rounds)) }
+
+func gossipFactory(g *graph.Graph, spec []byte, lo, hi int) ([]net.Node, error) {
+	rounds, n := binary.Uvarint(spec)
+	if n <= 0 || n != len(spec) {
+		return nil, fmt.Errorf("bad gossip spec")
+	}
+	nodes := make([]net.Node, 0, hi-lo)
+	for u := lo; u < hi; u++ {
+		nodes = append(nodes, &gossipNode{id: u, rounds: int(rounds)})
+	}
+	return nodes, nil
+}
+
+func (n *gossipNode) ID() int { return n.id }
+
+func (n *gossipNode) Done() bool { return len(n.log) >= n.rounds }
+
+func (n *gossipNode) Step(round int, inbox []msg.Message) []msg.Message {
+	for _, m := range inbox {
+		n.sum += int64(m.From)*1000 + int64(m.Edge) + int64(m.Color)
+	}
+	n.log = append(n.log, len(inbox))
+	if n.Done() {
+		return nil
+	}
+	return []msg.Message{{
+		Kind: msg.KindInvite, From: n.id, To: msg.Broadcast,
+		Edge: n.id*7 + round, Color: round,
+	}}
+}
+
+func (n *gossipNode) AppendState(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(n.sum))
+	buf = binary.AppendUvarint(buf, uint64(len(n.log)))
+	for _, v := range n.log {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return buf
+}
+
+func (n *gossipNode) RestoreState(data []byte) error {
+	sum, c := binary.Uvarint(data)
+	if c <= 0 {
+		return fmt.Errorf("bad gossip state")
+	}
+	data = data[c:]
+	count, c := binary.Uvarint(data)
+	if c <= 0 {
+		return fmt.Errorf("bad gossip log count")
+	}
+	data = data[c:]
+	n.sum = int64(sum)
+	n.log = nil
+	for i := uint64(0); i < count; i++ {
+		v, c := binary.Uvarint(data)
+		if c <= 0 {
+			return fmt.Errorf("bad gossip log entry")
+		}
+		data = data[c:]
+		n.log = append(n.log, int(v))
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%d trailing bytes in gossip state", len(data))
+	}
+	return nil
+}
+
+// killNode SIGKILLs its own process when its trigger vertex reaches the
+// trigger round — the kill -9 regression harness. Only node processes
+// ever step it (the coordinator's twins are never stepped), so the test
+// process itself is safe.
+type killNode struct {
+	gossipNode
+	killVertex, killRound int
+}
+
+func killSpec(rounds, killVertex, killRound int) []byte {
+	buf := binary.AppendUvarint(nil, uint64(rounds))
+	buf = binary.AppendUvarint(buf, uint64(killVertex))
+	return binary.AppendUvarint(buf, uint64(killRound))
+}
+
+func killFactory(g *graph.Graph, spec []byte, lo, hi int) ([]net.Node, error) {
+	var vals [3]uint64
+	for i := range vals {
+		v, n := binary.Uvarint(spec)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad kill spec")
+		}
+		vals[i] = v
+		spec = spec[n:]
+	}
+	nodes := make([]net.Node, 0, hi-lo)
+	for u := lo; u < hi; u++ {
+		nodes = append(nodes, &killNode{
+			gossipNode: gossipNode{id: u, rounds: int(vals[0])},
+			killVertex: int(vals[1]),
+			killRound:  int(vals[2]),
+		})
+	}
+	return nodes, nil
+}
+
+func (n *killNode) Step(round int, inbox []msg.Message) []msg.Message {
+	if n.id == n.killVertex && round == n.killRound {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	}
+	return n.gossipNode.Step(round, inbox)
+}
+
+// hangNode blocks forever at its trigger, simulating a wedged node that
+// must be caught by the barrier timeout (its process is then killed by
+// teardown, so the sleep never finishes).
+type hangNode struct{ killNode }
+
+func hangFactory(g *graph.Graph, spec []byte, lo, hi int) ([]net.Node, error) {
+	nodes, err := killFactory(g, spec, lo, hi)
+	for i, n := range nodes {
+		nodes[i] = &hangNode{killNode: *n.(*killNode)}
+	}
+	return nodes, err
+}
+
+func (n *hangNode) Step(round int, inbox []msg.Message) []msg.Message {
+	if n.id == n.killVertex && round == n.killRound {
+		select {}
+	}
+	return n.gossipNode.Step(round, inbox)
+}
+
+// testGraph builds a deterministic connected graph with some extra
+// chords so shards exchange real traffic.
+func testGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 1; u < n; u++ {
+		g.MustAddEdge(u-1, u)
+	}
+	for u := 0; u+3 < n; u += 2 {
+		g.MustAddEdge(u, u+3)
+	}
+	return g
+}
+
+func gossipNodes(g *graph.Graph, rounds int) []net.Node {
+	nodes, err := gossipFactory(g, gossipSpec(rounds), 0, g.N())
+	if err != nil {
+		panic(err)
+	}
+	return nodes
+}
+
+// leakCheck snapshots goroutine and FD counts and verifies both return
+// to baseline (teardown leaves no goroutines, FDs, or children).
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	goroutines := runtime.NumGoroutine()
+	fds := countFDs(t)
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			g, f := runtime.NumGoroutine(), countFDs(t)
+			if g <= goroutines && f <= fds {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("leak after teardown: %d goroutines (was %d), %d fds (was %d)",
+					g, goroutines, f, fds)
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		assertNoChildren(t)
+	}
+}
+
+func countFDs(t *testing.T) int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc fd accounting: %v", err)
+	}
+	return len(ents)
+}
+
+// assertNoChildren verifies no child process of this test binary
+// survives a run (spawned nodes are reaped by teardown).
+func assertNoChildren(t *testing.T) {
+	t.Helper()
+	tasks, err := os.ReadDir("/proc/self/task")
+	if err != nil {
+		return
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var kids []string
+		for _, task := range tasks {
+			b, err := os.ReadFile("/proc/self/task/" + task.Name() + "/children")
+			if err == nil {
+				kids = append(kids, strings.Fields(string(b))...)
+			}
+		}
+		if len(kids) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("child processes leaked after teardown: pids %v", kids)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunTCPMatchesRunSync is the transport-level equivalence property:
+// identical Results, per-round traffic streams, and harvested node
+// state at every shard count, with and without faults.
+func TestRunTCPMatchesRunSync(t *testing.T) {
+	g := testGraph(23)
+	faults := []net.FaultInjector{nil, net.DropRate{Seed: 7, P: 0.2}}
+	for _, fault := range faults {
+		var wantTraffic []net.RoundTraffic
+		syncNodes := gossipNodes(g, 6)
+		wantRes, err := net.RunSync(g, syncNodes, net.Config{
+			Fault:   fault,
+			Observe: func(rt net.RoundTraffic) { wantTraffic = append(wantTraffic, rt) },
+		})
+		if err != nil {
+			t.Fatalf("RunSync: %v", err)
+		}
+		for _, shards := range []int{1, 2, 3, 5, 31} {
+			t.Run(fmt.Sprintf("fault=%v/shards=%d", fault != nil, shards), func(t *testing.T) {
+				defer leakCheck(t)()
+				tc := &net.TCPCluster{Nodes: shards, BarrierTimeout: 30 * time.Second}
+				var gotTraffic []net.RoundTraffic
+				tcpNodes := gossipNodes(g, 6)
+				gotRes, err := net.RunTCP(tc, net.NodeSpec{Factory: "test/gossip/v1", Spec: gossipSpec(6)},
+					g, tcpNodes, net.Config{
+						Fault:   fault,
+						Observe: func(rt net.RoundTraffic) { gotTraffic = append(gotTraffic, rt) },
+					})
+				if err != nil {
+					t.Fatalf("RunTCP: %v", err)
+				}
+				if gotRes != wantRes {
+					t.Errorf("Result mismatch:\n tcp  %+v\n sync %+v", gotRes, wantRes)
+				}
+				if !reflect.DeepEqual(gotTraffic, wantTraffic) {
+					t.Errorf("round traffic mismatch:\n tcp  %+v\n sync %+v", gotTraffic, wantTraffic)
+				}
+				for u := range tcpNodes {
+					got, want := tcpNodes[u].(*gossipNode), syncNodes[u].(*gossipNode)
+					if got.sum != want.sum || !reflect.DeepEqual(got.log, want.log) {
+						t.Fatalf("node %d state: tcp sum=%d log=%v, sync sum=%d log=%v",
+							u, got.sum, got.log, want.sum, want.log)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunTCPCancel verifies mid-run cancellation aborts at the same
+// round barrier RunSync aborts at, with identical partial results.
+func TestRunTCPCancel(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(17)
+	// Cancel from the round-3 observation point: both engines observe
+	// rounds at the same barrier, so both abort after round 4.
+	run := func(engine func([]net.Node, net.Config) (net.Result, error)) (net.Result, []net.RoundTraffic) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var traffic []net.RoundTraffic
+		res, err := engine(gossipNodes(g, 10), net.Config{
+			Ctx: ctx,
+			Observe: func(rt net.RoundTraffic) {
+				traffic = append(traffic, rt)
+				if rt.Round == 3 {
+					cancel()
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		return res, traffic
+	}
+	wantRes, wantTraffic := run(func(nodes []net.Node, cfg net.Config) (net.Result, error) {
+		return net.RunSync(g, nodes, cfg)
+	})
+	tc := &net.TCPCluster{Nodes: 3}
+	gotRes, gotTraffic := run(func(nodes []net.Node, cfg net.Config) (net.Result, error) {
+		return net.RunTCP(tc, net.NodeSpec{Factory: "test/gossip/v1", Spec: gossipSpec(10)}, g, nodes, cfg)
+	})
+	if !wantRes.Aborted || gotRes != wantRes {
+		t.Errorf("aborted Result mismatch:\n tcp  %+v\n sync %+v", gotRes, wantRes)
+	}
+	if !reflect.DeepEqual(gotTraffic, wantTraffic) {
+		t.Errorf("aborted traffic mismatch:\n tcp  %+v\n sync %+v", gotTraffic, wantTraffic)
+	}
+}
+
+// TestRunTCPNodeKilled is the kill -9 regression: a node process dying
+// mid-round must surface as a NodeError naming the shard and round —
+// never a silent partial result — and teardown must reap everything.
+func TestRunTCPNodeKilled(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(20)
+	// 4 shards of 5 vertices; vertex 12 (shard 2) kills its process at
+	// round 3.
+	tc := &net.TCPCluster{Nodes: 4, BarrierTimeout: 10 * time.Second}
+	nodes, err := killFactory(g, killSpec(50, 12, 3), 0, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = net.RunTCP(tc, net.NodeSpec{Factory: "test/kill/v1", Spec: killSpec(50, 12, 3)},
+		g, nodes, net.Config{MaxRounds: 100})
+	var ne *net.NodeError
+	if !errors.As(err, &ne) {
+		t.Fatalf("want *net.NodeError, got %v", err)
+	}
+	if ne.Shard != 2 || ne.Round != 3 {
+		t.Errorf("NodeError names shard %d round %d, want shard 2 round 3 (%v)", ne.Shard, ne.Round, ne)
+	}
+	if !strings.Contains(err.Error(), "killed") && !strings.Contains(err.Error(), "exited") {
+		t.Errorf("error does not mention the process death: %v", err)
+	}
+}
+
+// TestRunTCPNodeHang verifies a wedged node trips the barrier timeout
+// as a typed error instead of hanging the coordinator.
+func TestRunTCPNodeHang(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(12)
+	tc := &net.TCPCluster{Nodes: 2, BarrierTimeout: time.Second}
+	nodes, err := hangFactory(g, killSpec(50, 9, 2), 0, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = net.RunTCP(tc, net.NodeSpec{Factory: "test/hang/v1", Spec: killSpec(50, 9, 2)},
+		g, nodes, net.Config{MaxRounds: 100})
+	var ne *net.NodeError
+	if !errors.As(err, &ne) {
+		t.Fatalf("want *net.NodeError, got %v", err)
+	}
+	if ne.Shard != 1 || ne.Round != 2 {
+		t.Errorf("NodeError names shard %d round %d, want shard 1 round 2 (%v)", ne.Shard, ne.Round, ne)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("hang detection took %v, want about the 1s barrier timeout", d)
+	}
+}
+
+// TestRunTCPValidation covers the error paths that must fail before any
+// process spawns.
+func TestRunTCPValidation(t *testing.T) {
+	g := testGraph(6)
+	spec := net.NodeSpec{Factory: "test/gossip/v1", Spec: gossipSpec(2)}
+	t.Run("no cluster", func(t *testing.T) {
+		if _, err := net.RunTCP(nil, spec, g, gossipNodes(g, 2), net.Config{}); err == nil {
+			t.Error("nil cluster accepted")
+		}
+	})
+	t.Run("zero nodes", func(t *testing.T) {
+		if _, err := net.RunTCP(&net.TCPCluster{}, spec, g, gossipNodes(g, 2), net.Config{}); err == nil {
+			t.Error("zero node count accepted")
+		}
+	})
+	t.Run("unknown factory", func(t *testing.T) {
+		bad := net.NodeSpec{Factory: "test/没有/v0"}
+		if _, err := net.RunTCP(&net.TCPCluster{Nodes: 2}, bad, g, gossipNodes(g, 2), net.Config{}); err == nil {
+			t.Error("unknown factory accepted")
+		}
+	})
+	t.Run("non-StateNode", func(t *testing.T) {
+		nodes := gossipNodes(g, 2)
+		nodes[3] = plainNode{id: 3}
+		if _, err := net.RunTCP(&net.TCPCluster{Nodes: 2}, spec, g, nodes, net.Config{}); err == nil {
+			t.Error("non-StateNode accepted")
+		}
+	})
+	t.Run("removal holes", func(t *testing.T) {
+		h := testGraph(6)
+		if _, err := h.RemoveEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.RunTCP(&net.TCPCluster{Nodes: 2}, spec, h, gossipNodes(h, 2), net.Config{}); err == nil {
+			t.Error("graph with removal holes accepted")
+		}
+	})
+}
+
+type plainNode struct{ id int }
+
+func (p plainNode) ID() int                               { return p.id }
+func (p plainNode) Done() bool                            { return true }
+func (p plainNode) Step(int, []msg.Message) []msg.Message { return nil }
+
+// TestRunTCPInitialDone checks the pre-spawn fast paths: an all-done
+// node set terminates, and a pre-canceled context aborts, both without
+// launching any process.
+func TestRunTCPInitialDone(t *testing.T) {
+	g := testGraph(8)
+	spec := net.NodeSpec{Factory: "test/gossip/v1", Spec: gossipSpec(0)}
+	res, err := net.RunTCP(&net.TCPCluster{Nodes: 2}, spec, g, gossipNodes(g, 0), net.Config{})
+	if err != nil || !res.Terminated || res.Rounds != 0 {
+		t.Errorf("all-done run: res=%+v err=%v", res, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = net.RunTCP(&net.TCPCluster{Nodes: 2}, net.NodeSpec{Factory: "test/gossip/v1", Spec: gossipSpec(3)},
+		g, gossipNodes(g, 3), net.Config{Ctx: ctx})
+	if err != nil || !res.Aborted || res.Rounds != 0 {
+		t.Errorf("pre-canceled run: res=%+v err=%v", res, err)
+	}
+}
+
+// TestRunTCPExternalMode drives the External arm in-process: the test
+// dials the coordinator itself, standing in for operator-launched
+// dimanode processes.
+func TestRunTCPExternalMode(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(14)
+	const shards = 2
+	// External mode publishes no address before RunTCP returns, so pick
+	// a loopback port up front by binding and releasing it.
+	addr := freeLoopbackAddr(t)
+	tc := &net.TCPCluster{Nodes: shards, External: true, Listen: addr, BarrierTimeout: 10 * time.Second}
+	// The "operator-launched" node halves run as goroutines of this
+	// process, retrying until the coordinator has bound its listener.
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := net.NodeMain(addr, s, shards, 0); err == nil {
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}(s)
+	}
+	syncNodes := gossipNodes(g, 5)
+	wantRes, err := net.RunSync(g, syncNodes, net.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpNodes := gossipNodes(g, 5)
+	gotRes, err := net.RunTCP(tc, net.NodeSpec{Factory: "test/gossip/v1", Spec: gossipSpec(5)},
+		g, tcpNodes, net.Config{})
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("RunTCP external: %v", err)
+	}
+	if gotRes != wantRes {
+		t.Errorf("external Result mismatch:\n tcp  %+v\n sync %+v", gotRes, wantRes)
+	}
+}
+
+func freeLoopbackAddr(t *testing.T) string {
+	t.Helper()
+	l, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}

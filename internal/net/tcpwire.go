@@ -1,0 +1,347 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dima/internal/graph"
+	"dima/internal/msg"
+)
+
+// Cluster frame grammar (docs/CLUSTER.md). Every payload decoder here
+// is strict: bytes left over after a successful parse are an error, so
+// a codec mismatch between coordinator and node builds surfaces as a
+// typed failure on the first divergent frame.
+const (
+	frameHello    msg.FrameKind = 0x01 // node → coord: msg.Hello
+	frameWelcome  msg.FrameKind = 0x02 // coord → node: spec + graph + shard bounds
+	frameReady    msg.FrameKind = 0x03 // node → coord: nodes constructed
+	frameRound    msg.FrameKind = 0x04 // coord → node: round number + deliveries
+	frameOutbox   msg.FrameKind = 0x05 // node → coord: round number + broadcasts + done bit
+	frameHarvest  msg.FrameKind = 0x06 // coord → node: export final node state
+	frameState    msg.FrameKind = 0x07 // node → coord: per-vertex state blobs
+	frameShutdown msg.FrameKind = 0x08 // coord → node: run over, exit 0
+	frameError    msg.FrameKind = 0x09 // node → coord: fatal node-side error text
+)
+
+func frameKindName(k msg.FrameKind) string {
+	switch k {
+	case frameHello:
+		return "hello"
+	case frameWelcome:
+		return "welcome"
+	case frameReady:
+		return "ready"
+	case frameRound:
+		return "round"
+	case frameOutbox:
+		return "outbox"
+	case frameHarvest:
+		return "harvest"
+	case frameState:
+		return "state"
+	case frameShutdown:
+		return "shutdown"
+	case frameError:
+		return "error"
+	}
+	return fmt.Sprintf("frame(%#x)", uint8(k))
+}
+
+// appendGraph appends the binary graph section: uvarint vertex count,
+// uvarint edge count, then one (u, v) uvarint pair per edge in edge-id
+// order. Graphs with removal holes are rejected by the engines before
+// any frame is built, so edge ids are dense.
+func appendGraph(buf []byte, g *graph.Graph) []byte {
+	buf = binary.AppendUvarint(buf, uint64(g.N()))
+	buf = binary.AppendUvarint(buf, uint64(g.M()))
+	for _, e := range g.Edges() {
+		buf = binary.AppendUvarint(buf, uint64(e.U))
+		buf = binary.AppendUvarint(buf, uint64(e.V))
+	}
+	return buf
+}
+
+// decodeGraph parses the binary graph section from the front of buf,
+// returning the graph and the unconsumed tail. Edge insertion order is
+// the wire order, so edge ids match the coordinator's exactly.
+func decodeGraph(buf []byte) (*graph.Graph, []byte, error) {
+	dec := wireDec{buf: buf}
+	n := dec.uvarint("vertex count")
+	m := dec.uvarint("edge count")
+	if dec.err != nil {
+		return nil, nil, dec.err
+	}
+	if n > 1<<31 {
+		return nil, nil, fmt.Errorf("net: implausible vertex count %d", n)
+	}
+	// Each edge costs at least two bytes on the wire.
+	if m > uint64(len(dec.buf))/2 {
+		return nil, nil, fmt.Errorf("net: implausible edge count %d for %d remaining bytes", m, len(dec.buf))
+	}
+	g := graph.New(int(n))
+	for i := uint64(0); i < m; i++ {
+		u := dec.uvarint("edge endpoint")
+		v := dec.uvarint("edge endpoint")
+		if dec.err != nil {
+			return nil, nil, dec.err
+		}
+		if u >= n || v >= n {
+			return nil, nil, fmt.Errorf("net: edge %d endpoints (%d, %d) out of range for %d vertices", i, u, v, n)
+		}
+		if _, err := g.AddEdge(int(u), int(v)); err != nil {
+			return nil, nil, fmt.Errorf("net: edge %d: %w", i, err)
+		}
+	}
+	return g, dec.buf, nil
+}
+
+// welcome is the coordinator's run description for one node process.
+type welcome struct {
+	factory string // registered NodeFactory name
+	spec    []byte // opaque per-protocol options blob
+	shards  int    // total shard count
+	lo, hi  int    // this process's vertex range [lo, hi)
+	g       *graph.Graph
+}
+
+func (w welcome) append(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(w.factory)))
+	buf = append(buf, w.factory...)
+	buf = binary.AppendUvarint(buf, uint64(len(w.spec)))
+	buf = append(buf, w.spec...)
+	buf = binary.AppendUvarint(buf, uint64(w.shards))
+	buf = binary.AppendUvarint(buf, uint64(w.lo))
+	buf = binary.AppendUvarint(buf, uint64(w.hi))
+	return appendGraph(buf, w.g)
+}
+
+func decodeWelcome(buf []byte) (welcome, error) {
+	var w welcome
+	dec := wireDec{buf: buf}
+	w.factory = string(dec.lenBytes("factory name"))
+	w.spec = append([]byte(nil), dec.lenBytes("spec blob")...)
+	w.shards = int(dec.uvarint("shard count"))
+	w.lo = int(dec.uvarint("shard lo"))
+	w.hi = int(dec.uvarint("shard hi"))
+	if dec.err != nil {
+		return w, dec.err
+	}
+	g, rest, err := decodeGraph(dec.buf)
+	if err != nil {
+		return w, err
+	}
+	if len(rest) != 0 {
+		return w, fmt.Errorf("net: %d trailing bytes after welcome frame", len(rest))
+	}
+	w.g = g
+	if w.shards < 1 || w.lo < 0 || w.hi < w.lo || w.hi > g.N() {
+		return w, fmt.Errorf("net: welcome shard range [%d, %d) of %d invalid for %d vertices",
+			w.lo, w.hi, w.shards, g.N())
+	}
+	return w, nil
+}
+
+// delivery is one routed message: the broadcast m must land in vertex
+// to's next inbox. vertex ids ride next to the message because the
+// Message.To field is the protocol addressee (possibly Broadcast), not
+// the transport destination.
+type delivery struct {
+	to int
+	m  msg.Message
+}
+
+// appendRound appends a round frame payload: uvarint round, uvarint
+// delivery count, then (uvarint vertex, message) pairs.
+func appendRound(buf []byte, round int, ds []delivery) []byte {
+	buf = binary.AppendUvarint(buf, uint64(round))
+	buf = binary.AppendUvarint(buf, uint64(len(ds)))
+	for _, d := range ds {
+		buf = binary.AppendUvarint(buf, uint64(d.to))
+		buf = d.m.Append(buf)
+	}
+	return buf
+}
+
+// decodeRound parses a round frame, delivering each message through
+// deliver(to, m) to avoid materializing a second slice. Strict: the
+// payload must be consumed exactly.
+func decodeRound(buf []byte, deliver func(to int, m msg.Message) error) (round int, err error) {
+	dec := wireDec{buf: buf}
+	round = int(dec.uvarint("round"))
+	count := dec.uvarint("delivery count")
+	if dec.err != nil {
+		return 0, dec.err
+	}
+	if count > uint64(len(dec.buf)) {
+		return 0, fmt.Errorf("net: implausible delivery count %d for %d remaining bytes", count, len(dec.buf))
+	}
+	for i := uint64(0); i < count; i++ {
+		to := dec.uvarint("delivery vertex")
+		if dec.err != nil {
+			return 0, dec.err
+		}
+		m, used, err := msg.Decode(dec.buf)
+		if err != nil {
+			return 0, fmt.Errorf("net: delivery %d of %d: %w", i, count, err)
+		}
+		dec.buf = dec.buf[used:]
+		if err := deliver(int(to), m); err != nil {
+			return 0, err
+		}
+	}
+	if len(dec.buf) != 0 {
+		return 0, fmt.Errorf("net: %d trailing bytes after round frame", len(dec.buf))
+	}
+	return round, nil
+}
+
+// outboxFlagDone marks a shard whose every node reported Done after
+// stepping this round.
+const outboxFlagDone = 1 << 0
+
+// appendOutbox appends an outbox frame payload: uvarint round, a flags
+// byte, uvarint broadcast count, then (uvarint sender vertex, message)
+// pairs in the order the senders were stepped (ascending vertex id).
+func appendOutbox(buf []byte, round int, done bool, bs []broadcast) []byte {
+	buf = binary.AppendUvarint(buf, uint64(round))
+	var flags byte
+	if done {
+		flags |= outboxFlagDone
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(bs)))
+	for _, b := range bs {
+		buf = binary.AppendUvarint(buf, uint64(b.from))
+		buf = b.m.Append(buf)
+	}
+	return buf
+}
+
+// broadcast is one sent message paired with its sending vertex — the
+// routing key the coordinator fans out over g.Neighbors(from).
+type broadcast struct {
+	from int
+	m    msg.Message
+}
+
+// decodeOutbox parses an outbox frame strictly.
+func decodeOutbox(buf []byte) (round int, done bool, bs []broadcast, err error) {
+	dec := wireDec{buf: buf}
+	round = int(dec.uvarint("round"))
+	flags := dec.byte("flags")
+	count := dec.uvarint("broadcast count")
+	if dec.err != nil {
+		return 0, false, nil, dec.err
+	}
+	if flags&^byte(outboxFlagDone) != 0 {
+		return 0, false, nil, fmt.Errorf("net: unknown outbox flag bits %#x", flags)
+	}
+	if count > uint64(len(dec.buf)) {
+		return 0, false, nil, fmt.Errorf("net: implausible broadcast count %d for %d remaining bytes", count, len(dec.buf))
+	}
+	bs = make([]broadcast, 0, count)
+	for i := uint64(0); i < count; i++ {
+		from := dec.uvarint("sender vertex")
+		if dec.err != nil {
+			return 0, false, nil, dec.err
+		}
+		m, used, err := msg.Decode(dec.buf)
+		if err != nil {
+			return 0, false, nil, fmt.Errorf("net: broadcast %d of %d: %w", i, count, err)
+		}
+		dec.buf = dec.buf[used:]
+		bs = append(bs, broadcast{from: int(from), m: m})
+	}
+	if len(dec.buf) != 0 {
+		return 0, false, nil, fmt.Errorf("net: %d trailing bytes after outbox frame", len(dec.buf))
+	}
+	return round, flags&outboxFlagDone != 0, bs, nil
+}
+
+// appendState appends a state frame payload: uvarint blob count, then
+// (uvarint vertex, uvarint length, blob) triples.
+func appendState(buf []byte, lo int, blobs [][]byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(blobs)))
+	for i, b := range blobs {
+		buf = binary.AppendUvarint(buf, uint64(lo+i))
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
+// decodeState parses a state frame strictly, calling restore(vertex,
+// blob) per entry. Blobs alias the payload buffer and must be consumed
+// within the callback.
+func decodeState(buf []byte, restore func(vertex int, blob []byte) error) error {
+	dec := wireDec{buf: buf}
+	count := dec.uvarint("state count")
+	if dec.err != nil {
+		return dec.err
+	}
+	if count > uint64(len(dec.buf))+1 {
+		return fmt.Errorf("net: implausible state count %d for %d remaining bytes", count, len(dec.buf))
+	}
+	for i := uint64(0); i < count; i++ {
+		vertex := dec.uvarint("state vertex")
+		blob := dec.lenBytes("state blob")
+		if dec.err != nil {
+			return dec.err
+		}
+		if err := restore(int(vertex), blob); err != nil {
+			return err
+		}
+	}
+	if len(dec.buf) != 0 {
+		return fmt.Errorf("net: %d trailing bytes after state frame", len(dec.buf))
+	}
+	return nil
+}
+
+// wireDec is a cursor over a frame payload that latches the first
+// decode error, keeping multi-field parsers linear instead of nested.
+type wireDec struct {
+	buf []byte
+	err error
+}
+
+func (d *wireDec) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("net: truncated %s", what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *wireDec) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.err = fmt.Errorf("net: truncated %s", what)
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *wireDec) lenBytes(what string) []byte {
+	n := d.uvarint(what + " length")
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("net: %s of %d bytes exceeds the %d remaining", what, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
