@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke load-smoke soak-smoke scale-smoke parallel-smoke cluster-smoke
+.PHONY: all build test race vet fmt fmt-check bench check serve-smoke dynamic-smoke load-smoke soak-smoke scale-smoke parallel-smoke cluster-smoke cluster-serve-smoke
 
 all: build
 
@@ -75,5 +75,14 @@ parallel-smoke:
 # operator-launched dimanode arm (docs/CLUSTER.md).
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# Cluster serving smoke: a dimaserve front end plus three dimaworker
+# processes; a known graph re-verified with dimaverify, a SIGKILL
+# failover arm, a dimaload burst that loses a second worker mid-run,
+# and a drain after which the survivors exit 0 on their own
+# (docs/CLUSTER_SERVE.md). Honors CLUSTER_SERVE_SMOKE_LOGDIR and
+# CLUSTER_SERVE_SMOKE_OUT.
+cluster-serve-smoke:
+	sh scripts/cluster_serve_smoke.sh
 
 check: build vet fmt-check test race

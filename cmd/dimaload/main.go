@@ -118,6 +118,10 @@ func main() {
 		Mix: *mix, N: *jobN, Deg: *jobDeg, Batch: *batchLen, Seed: *seed,
 		MaxErrorRate: *maxErr, SLOP99Ms: float64(*sloP99) / float64(time.Millisecond),
 	})
+	if rep.Cluster = scrapeCluster(ld.base); rep.Cluster != nil {
+		fmt.Fprintf(os.Stderr, "dimaload: cluster: %d workers, %d dispatched, %d retries, %d worker errors\n",
+			rep.Cluster.Workers, rep.Cluster.Dispatched, rep.Cluster.Retries, rep.Cluster.WorkerErrors)
+	}
 
 	if !*quietRet {
 		printTable(rep)
@@ -290,6 +294,47 @@ type report struct {
 	} `json:"totals"`
 	Ops        map[string]opReport `json:"ops"`
 	Violations []string            `json:"violations"`
+	// Cluster captures the front end's dispatch counters when the target
+	// ran in cluster mode (scraped from /healthz after the run), so a
+	// BENCH artifact records failover behavior — retries and worker
+	// errors — alongside the latency distributions.
+	Cluster *clusterReport `json:"cluster,omitempty"`
+}
+
+// clusterReport summarizes the target's cluster plane after the run.
+type clusterReport struct {
+	Workers      int   `json:"workers"`
+	Dispatched   int64 `json:"dispatched"`
+	Retries      int64 `json:"retries"`
+	WorkerErrors int64 `json:"workerErrors"`
+}
+
+// scrapeCluster reads the target's /healthz and extracts the cluster
+// section; nil when the target runs in local mode (no section) or the
+// scrape fails (the load numbers still stand on their own).
+func scrapeCluster(base string) *clusterReport {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/healthz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Cluster *struct {
+			Workers      []json.RawMessage `json:"workers"`
+			Dispatched   int64             `json:"dispatched"`
+			Retries      int64             `json:"retries"`
+			WorkerErrors int64             `json:"workerErrors"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Cluster == nil {
+		return nil
+	}
+	return &clusterReport{
+		Workers:      len(body.Cluster.Workers),
+		Dispatched:   body.Cluster.Dispatched,
+		Retries:      body.Cluster.Retries,
+		WorkerErrors: body.Cluster.WorkerErrors,
+	}
 }
 
 func (s *collectorSet) report(cfg reportConfig) report {

@@ -13,13 +13,25 @@
 // -pprof additionally serves them on a separate port. SIGINT/SIGTERM
 // trigger a graceful shutdown: submissions stop, queued and running
 // jobs drain, and any still running at -drain-timeout are canceled at
-// their next round barrier.
+// their next round barrier; the shutdown log reports how many jobs the
+// deadline abandoned.
+//
+// With -cluster-listen the service becomes a cluster front end
+// (docs/CLUSTER_SERVE.md): jobs execute on dimaworker processes that
+// dial the cluster address with the launch token instead of in-process
+// goroutines:
+//
+//	dimaserve -addr :8080 -cluster-listen :7700 -cluster-token 12345
+//	dimaworker -connect host:7700 -token 12345 &   # × N
 package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"log"
 	stdnet "net"
 	"net/http"
 	"os"
@@ -27,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"dima/internal/cluster"
 	"dima/internal/metrics"
 	"dima/internal/service"
 )
@@ -41,6 +54,10 @@ func main() {
 		maxRounds = flag.Int("max-rounds", 0, "computation round cap per job (0 = core default)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight jobs are canceled")
 		pprofAddr = flag.String("pprof", "", "also serve /metrics and /debug/pprof/ on this separate address")
+
+		clusterListen = flag.String("cluster-listen", "", "cluster mode: accept dimaworker registrations on this address and run jobs remotely")
+		clusterToken  = flag.Uint64("cluster-token", 0, "worker launch token (0 = generate one and log it)")
+		heartbeat     = flag.Duration("cluster-heartbeat", time.Second, "worker heartbeat interval; eviction after 3 missed beats")
 	)
 	flag.Parse()
 
@@ -62,16 +79,51 @@ func main() {
 	if *drain <= 0 {
 		usage(fmt.Errorf("-drain-timeout wants a positive duration, got %v", *drain))
 	}
+	if *clusterListen == "" && *clusterToken != 0 {
+		usage(fmt.Errorf("-cluster-token needs -cluster-listen"))
+	}
+	if *heartbeat <= 0 {
+		usage(fmt.Errorf("-cluster-heartbeat wants a positive duration, got %v", *heartbeat))
+	}
 
 	reg := metrics.NewRegistry()
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		QueueSize:    *queue,
 		Workers:      *workers,
 		ShardWorkers: *shardW,
 		JobTimeout:   *timeout,
 		MaxRounds:    *maxRounds,
 		Registry:     reg,
-	})
+	}
+
+	var fe *cluster.FrontEnd
+	if *clusterListen != "" {
+		token := *clusterToken
+		if token == 0 {
+			var b [8]byte
+			if _, err := rand.Read(b[:]); err != nil {
+				fatal(fmt.Errorf("generate cluster token: %v", err))
+			}
+			token = binary.BigEndian.Uint64(b[:])
+		}
+		var err error
+		fe, err = cluster.Listen(cluster.Config{
+			Listen:            *clusterListen,
+			Token:             token,
+			HeartbeatInterval: *heartbeat,
+			Registry:          reg,
+			Logf:              log.New(os.Stderr, "dimaserve: ", 0).Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer fe.Close()
+		cfg.Runner = fe.Runner()
+		cfg.Cluster = fe
+		fmt.Fprintf(os.Stderr, "dimaserve: cluster front end on %s (token %d)\n", fe.Addr(), token)
+	}
+
+	svc := service.New(cfg)
 
 	if *pprofAddr != "" {
 		ds, err := metrics.StartDebugServer(*pprofAddr, reg)
@@ -107,9 +159,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dimaserve: http shutdown: %v\n", err)
 	}
 	if err := svc.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "dimaserve: canceled in-flight jobs: %v\n", err)
+		fmt.Fprintf(os.Stderr, "dimaserve: canceled in-flight jobs: %v (%d abandoned at the drain deadline)\n",
+			err, svc.Abandoned())
 	}
-	fmt.Fprintln(os.Stderr, "dimaserve: drained")
+	if fe != nil {
+		if err := fe.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dimaserve: cluster drain: %v\n", err)
+		}
+		fe.Close()
+	}
+	fmt.Fprintf(os.Stderr, "dimaserve: drained (%d jobs abandoned)\n", svc.Abandoned())
 }
 
 func fatal(err error) {

@@ -1,0 +1,96 @@
+// Command dimaworker is a coloring worker for the dimaserve cluster
+// (docs/CLUSTER_SERVE.md): it dials a front end started with
+// -cluster-listen, registers with the launch token, and executes
+// dispatched coloring jobs with the shard engine, streaming results and
+// round stats back over the registry connection.
+//
+// Usage:
+//
+//	dimaserve -addr :8080 -cluster-listen :7700 -cluster-token 12345
+//	dimaworker -connect host:7700 -token 12345 -capacity 2 &   # × N
+//
+// The worker holds no durable state: every job arrives with its full
+// description (graph, algorithm, seed, options) and is reproducible on
+// any other worker, which is what makes front-end failover retries
+// safe. A front end that drains and closes the connection ends the
+// worker cleanly (exit 0); losing the connection mid-job exits 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	stdnet "net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+
+	"dima/internal/cluster"
+)
+
+func main() {
+	var (
+		connect  = flag.String("connect", "", "front end's cluster address (host:port); required")
+		token    = flag.Uint64("token", 0, "launch token printed by the front end; required")
+		name     = flag.String("name", "", "operator label reported in the registry")
+		capacity = flag.Int("capacity", 1, "jobs run concurrently; more queue on the worker")
+		shardW   = flag.Int("shard-workers", 0, "shard engine workers per job (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("q", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	if flag.NArg() != 0 {
+		usage(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+	if *connect == "" {
+		usage(fmt.Errorf("-connect is required"))
+	}
+	if _, port, err := stdnet.SplitHostPort(*connect); err != nil {
+		usage(fmt.Errorf("-connect wants host:port, got %q: %v", *connect, err))
+	} else if p, err := strconv.Atoi(port); err != nil || p < 1 || p > 65535 {
+		usage(fmt.Errorf("-connect wants a numeric port in [1, 65535], got %q", port))
+	}
+	if *token == 0 {
+		usage(fmt.Errorf("-token is required (the front end logs it at startup)"))
+	}
+	if *capacity < 1 {
+		usage(fmt.Errorf("-capacity wants a positive count, got %d", *capacity))
+	}
+	if *shardW < 0 {
+		usage(fmt.Errorf("-shard-workers wants a non-negative count, got %d", *shardW))
+	}
+
+	logf := log.New(os.Stderr, "dimaworker: ", 0).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	// SIGINT/SIGTERM cancel the worker context: running jobs abort at
+	// their next round barrier, the connection closes, and the front end
+	// retries anything that was in flight elsewhere.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := cluster.RunWorker(ctx, cluster.WorkerConfig{
+		Connect:      *connect,
+		Token:        *token,
+		Name:         *name,
+		Capacity:     *capacity,
+		ShardWorkers: *shardW,
+		Logf:         logf,
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "dimaworker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// usage reports a bad flag value and exits 2, the conventional status
+// for a usage error (runtime failures exit 1).
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "dimaworker: %v\n", err)
+	flag.Usage()
+	os.Exit(2)
+}

@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dima/internal/core"
+	"dima/internal/gen"
+	"dima/internal/graph"
+	"dima/internal/metrics"
+	"dima/internal/msg"
+	"dima/internal/rng"
+	"dima/internal/service"
+)
+
+const testToken = 0x5eed_c0de_5eed_c0de
+
+// leakCheck snapshots goroutine and FD counts and verifies both return
+// to baseline after teardown. Call it first: the verification is
+// registered as a cleanup, so it runs after the test's own cleanups
+// (front-end Close, worker cancels) have torn everything down.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	goroutines := runtime.NumGoroutine()
+	fds := countFDs(t)
+	t.Cleanup(func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			g, f := runtime.NumGoroutine(), countFDs(t)
+			if g <= goroutines && f <= fds {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("leak after teardown: %d goroutines (was %d), %d fds (was %d)",
+					g, goroutines, f, fds)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+func countFDs(t *testing.T) int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc fd accounting: %v", err)
+	}
+	return len(ents)
+}
+
+// startFrontEnd returns a listening front end with test-fast heartbeats
+// and its cleanup registered.
+func startFrontEnd(t *testing.T, reg *metrics.Registry) *FrontEnd {
+	t.Helper()
+	fe, err := Listen(Config{
+		Listen:            "127.0.0.1:0",
+		Token:             testToken,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  150 * time.Millisecond,
+		Registry:          reg,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fe.Close)
+	return fe
+}
+
+// startWorker runs an in-process worker against fe and waits until the
+// registry sees it. It returns a channel that carries RunWorker's exit.
+func startWorker(t *testing.T, fe *FrontEnd, cfg WorkerConfig) <-chan error {
+	t.Helper()
+	cfg.Connect = fe.Addr()
+	cfg.Token = testToken
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	errc := make(chan error, 1)
+	before := len(fe.ClusterHealth().Workers)
+	go func() { errc <- RunWorker(ctx, cfg) }()
+	waitFor(t, func() bool { return len(fe.ClusterHealth().Workers) > before })
+	return errc
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 10s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func testGraph(t *testing.T, n int, deg float64, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.ErdosRenyiAvgDegree(rng.New(seed), n, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRemoteMatchesLocal is the byte-identity property: a job executed
+// through the cluster (dispatch, JSON frames, retry machinery armed)
+// yields exactly the result and round stream the local shard runner
+// produces, across both algorithms × recovery on/off.
+func TestRemoteMatchesLocal(t *testing.T) {
+	leakCheck(t)
+	fe := startFrontEnd(t, nil)
+	startWorker(t, fe, WorkerConfig{ShardWorkers: 2, Capacity: 2})
+	remote := fe.Runner()
+	local := service.ShardRunner(3) // different worker count on purpose
+
+	ctx := context.Background()
+	for _, tc := range []struct{ strong, recovery bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			req := service.JobRequest{
+				Graph: testGraph(t, 80, 5, seed), Strong: tc.strong,
+				Recovery: tc.recovery, Seed: seed,
+			}
+			var lm, rm metrics.Memory
+			want, err := local(ctx, req, &lm)
+			if err != nil {
+				t.Fatalf("local %+v seed %d: %v", tc, seed, err)
+			}
+			got, err := remote(ctx, req, &rm)
+			if err != nil {
+				t.Fatalf("remote %+v seed %d: %v", tc, seed, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%+v seed %d: remote result diverges:\n got %+v\nwant %+v", tc, seed, got, want)
+			}
+			if !reflect.DeepEqual(rm.Rounds, lm.Rounds) {
+				t.Fatalf("%+v seed %d: remote round stream diverges (%d vs %d rounds)",
+					tc, seed, len(rm.Rounds), len(lm.Rounds))
+			}
+		}
+	}
+}
+
+// blockingRunner parks jobs until release is closed, reporting each
+// start; its context branch returns an engine-shaped aborted result.
+func blockingRunner(started chan<- struct{}, release <-chan struct{}) service.Runner {
+	return func(ctx context.Context, req service.JobRequest, sink metrics.Sink) (*core.Result, error) {
+		if started != nil {
+			started <- struct{}{}
+		}
+		colors := make([]int, req.Graph.M())
+		select {
+		case <-release:
+			return &core.Result{Colors: colors, Terminated: true}, nil
+		case <-ctx.Done():
+			for i := range colors {
+				colors[i] = -1
+			}
+			return &core.Result{Colors: colors, Aborted: true, MaxColor: -1, HalfColored: req.Graph.M()}, nil
+		}
+	}
+}
+
+// TestFailoverRetriesOnce kills the worker holding a job and expects
+// exactly one transparent retry that completes on the survivor.
+func TestFailoverRetriesOnce(t *testing.T) {
+	leakCheck(t)
+	fe := startFrontEnd(t, nil)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	// Worker 1 registers first, so the idle-cluster tie-break routes the
+	// job to it; its runner parks so the kill lands mid-job. Worker 2
+	// runs jobs for real.
+	w1exit := startWorker(t, fe, WorkerConfig{Name: "victim", Runner: blockingRunner(started, release)})
+	startWorker(t, fe, WorkerConfig{Name: "survivor", ShardWorkers: 2})
+
+	req := service.JobRequest{Graph: testGraph(t, 60, 4, 7), Seed: 7}
+	var mem metrics.Memory
+	resc := make(chan *core.Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := fe.Runner()(context.Background(), req, &mem)
+		resc <- res
+		errc <- err
+	}()
+	<-started // the job is mid-run on the victim
+	// Sever the victim's registry connection — the front-end side of a
+	// SIGKILL. Its dispatch must conclude as a WorkerError and retry.
+	fe.mu.Lock()
+	victim := fe.workers[0]
+	fe.mu.Unlock()
+	victim.conn.Close()
+
+	res := <-resc
+	if err := <-errc; err != nil {
+		t.Fatalf("job after failover: %v", err)
+	}
+	if res == nil || !res.Terminated {
+		t.Fatalf("failover result: %+v", res)
+	}
+	h := fe.ClusterHealth()
+	if h.Retries != 1 || h.WorkerErrors != 1 || h.Dispatched != 2 {
+		t.Fatalf("counters after failover: retries=%d workerErrors=%d dispatched=%d, want 1/1/2",
+			h.Retries, h.WorkerErrors, h.Dispatched)
+	}
+	if len(h.Workers) != 1 || h.Workers[0].Name != "survivor" {
+		t.Fatalf("registry after failover: %+v", h.Workers)
+	}
+	if err := <-w1exit; err == nil {
+		t.Fatal("victim worker exited nil despite losing its connection mid-job")
+	}
+}
+
+// TestAllWorkersDeadTypedError kills the only worker mid-job: the job
+// must fail promptly with a typed WorkerError, not hang.
+func TestAllWorkersDeadTypedError(t *testing.T) {
+	leakCheck(t)
+	fe := startFrontEnd(t, nil)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	startWorker(t, fe, WorkerConfig{Runner: blockingRunner(started, release)})
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fe.Runner()(context.Background(), service.JobRequest{Graph: testGraph(t, 40, 3, 1), Seed: 1}, &metrics.Memory{})
+		errc <- err
+	}()
+	<-started
+	fe.mu.Lock()
+	conn := fe.workers[0].conn
+	fe.mu.Unlock()
+	conn.Close()
+
+	select {
+	case err := <-errc:
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			t.Fatalf("want a *WorkerError, got %T: %v", err, err)
+		}
+		if we.Worker != "w001" || we.JobID == "" {
+			t.Fatalf("WorkerError fields: %+v", we)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job hung after losing every worker")
+	}
+	if h := fe.ClusterHealth(); h.Ready {
+		t.Fatal("cluster still ready with an empty registry")
+	}
+	// A fresh submission with no workers at all is a plain ErrNoWorkers.
+	if _, err := fe.Runner()(context.Background(), service.JobRequest{Graph: testGraph(t, 10, 2, 2), Seed: 2}, &metrics.Memory{}); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("empty-registry submit: %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestHeartbeatEviction registers a raw connection that handshakes and
+// then goes silent; the registry must evict it within the deadline.
+func TestHeartbeatEviction(t *testing.T) {
+	leakCheck(t)
+	fe := startFrontEnd(t, nil)
+	c, err := net.Dial("tcp", fe.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hello := msg.WorkerHello{Name: "mute", Capacity: 1, Token: testToken}
+	if err := msg.WriteFrame(c, frameHello, hello.Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(fe.ClusterHealth().Workers) == 1 })
+	start := time.Now()
+	waitFor(t, func() bool { return len(fe.ClusterHealth().Workers) == 0 })
+	// Deadline is 150ms in tests; allow generous scheduler slack.
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("eviction took %v", took)
+	}
+	waitFor(t, func() bool { return fe.ClusterHealth().WorkerErrors == 1 })
+}
+
+// TestBadTokenRejected verifies an uninvited worker never registers.
+func TestBadTokenRejected(t *testing.T) {
+	leakCheck(t)
+	fe := startFrontEnd(t, nil)
+	err := RunWorker(context.Background(), WorkerConfig{
+		Connect: fe.Addr(), Token: testToken + 1, DialTimeout: 2 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("bad token accepted")
+	}
+	if h := fe.ClusterHealth(); len(h.Workers) != 0 {
+		t.Fatalf("registry after bad token: %+v", h.Workers)
+	}
+}
+
+// TestCancelPropagatesToWorker runs the full stack — HTTP service over
+// the dispatching runner over a real worker — cancels mid-run, and
+// requires a canceled terminal state with full teardown.
+func TestCancelPropagatesToWorker(t *testing.T) {
+	leakCheck(t)
+	reg := metrics.NewRegistry()
+	fe := startFrontEnd(t, reg)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	startWorker(t, fe, WorkerConfig{Runner: blockingRunner(started, release)})
+
+	svc := service.New(service.Config{Workers: 1, Runner: fe.Runner(), Cluster: fe, Registry: reg})
+	defer svc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := service.JobRequest{Graph: testGraph(t, 50, 4, 3), Seed: 3}
+	done := make(chan struct{})
+	var res *core.Result
+	var runErr error
+	go func() {
+		res, runErr = fe.Runner()(ctx, req, &metrics.Memory{})
+		close(done)
+	}()
+	<-started
+	cancel() // front-end job context canceled → cancel frame → worker ctx
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel hung")
+	}
+	if runErr != nil {
+		t.Fatalf("canceled job errored: %v", runErr)
+	}
+	if res == nil || !res.Aborted {
+		t.Fatalf("canceled job result: %+v", res)
+	}
+	// The worker must have no job state left behind.
+	if h := fe.ClusterHealth(); h.WorkerErrors != 0 || len(h.Workers) != 1 || h.Workers[0].Inflight != 0 {
+		t.Fatalf("post-cancel health: %+v", h)
+	}
+}
+
+// TestRoutingBalancesByInflight saturates a two-worker pool and checks
+// the router spreads jobs instead of piling them on one worker.
+func TestRoutingBalancesByInflight(t *testing.T) {
+	leakCheck(t)
+	fe := startFrontEnd(t, nil)
+	release := make(chan struct{})
+	startWorker(t, fe, WorkerConfig{Capacity: 2, Runner: blockingRunner(nil, release)})
+	startWorker(t, fe, WorkerConfig{Capacity: 2, Runner: blockingRunner(nil, release)})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			if _, err := fe.Runner()(context.Background(), service.JobRequest{Graph: testGraph(t, 20, 3, seed), Seed: seed}, &metrics.Memory{}); err != nil {
+				t.Errorf("job %d: %v", seed, err)
+			}
+		}(uint64(i + 1))
+	}
+	waitFor(t, func() bool {
+		h := fe.ClusterHealth()
+		return len(h.Workers) == 2 && h.Workers[0].Inflight == 2 && h.Workers[1].Inflight == 2
+	})
+	close(release)
+	wg.Wait()
+}
+
+// TestDrainWaitsForInflight checks Drain blocks on an in-flight job and
+// honors its deadline when the job never concludes.
+func TestDrainWaitsForInflight(t *testing.T) {
+	leakCheck(t)
+	fe := startFrontEnd(t, nil)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	startWorker(t, fe, WorkerConfig{Runner: blockingRunner(started, release)})
+
+	jobDone := make(chan struct{})
+	go func() {
+		defer close(jobDone)
+		if _, err := fe.Runner()(context.Background(), service.JobRequest{Graph: testGraph(t, 20, 3, 1), Seed: 1}, &metrics.Memory{}); err != nil {
+			t.Errorf("drained job: %v", err)
+		}
+	}()
+	<-started
+	short, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := fe.Drain(short); err == nil {
+		t.Fatal("drain returned nil with a job still in flight")
+	}
+	close(release)
+	<-jobDone
+	long, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := fe.Drain(long); err != nil {
+		t.Fatalf("drain after completion: %v", err)
+	}
+}
+
+// TestWorkerExitsCleanOnFrontEndClose checks the operator contract: a
+// front-end shutdown with idle workers ends RunWorker with nil.
+func TestWorkerExitsCleanOnFrontEndClose(t *testing.T) {
+	leakCheck(t)
+	fe := startFrontEnd(t, nil)
+	exit := startWorker(t, fe, WorkerConfig{})
+	fe.Close()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("idle worker exit after front-end close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not exit after front-end close")
+	}
+}
+
+// TestRunnerErrorNotRetried: a deterministic runner failure would fail
+// again on another worker, so it must surface directly with no retry.
+func TestRunnerErrorNotRetried(t *testing.T) {
+	leakCheck(t)
+	fe := startFrontEnd(t, nil)
+	boom := func(ctx context.Context, req service.JobRequest, sink metrics.Sink) (*core.Result, error) {
+		return nil, fmt.Errorf("odd vertex count")
+	}
+	startWorker(t, fe, WorkerConfig{Runner: boom})
+	startWorker(t, fe, WorkerConfig{Runner: boom})
+	_, err := fe.Runner()(context.Background(), service.JobRequest{Graph: testGraph(t, 20, 3, 1), Seed: 1}, &metrics.Memory{})
+	if err == nil || !reflect.DeepEqual(fe.ClusterHealth().Retries, int64(0)) {
+		t.Fatalf("runner error handling: err=%v retries=%d", err, fe.ClusterHealth().Retries)
+	}
+	var we *WorkerError
+	if errors.As(err, &we) {
+		t.Fatalf("runner error surfaced as WorkerError: %v", err)
+	}
+}

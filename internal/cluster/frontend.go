@@ -1,0 +1,631 @@
+// Package cluster implements the dimaserve cluster plane
+// (docs/CLUSTER_SERVE.md): a routing front end that dispatches coloring
+// jobs to operator-launched dimaworker processes instead of in-process
+// goroutines, plus the worker side of that protocol (RunWorker).
+//
+// The front end keeps a registry of workers that dialed in with the
+// launch token, routes each job to the least-loaded one, and streams
+// the result and per-round stats back so the HTTP service above it
+// (internal/service) serves remote runs through the same /jobs
+// endpoints as local ones. Failover leans on determinism: a run is a
+// pure function of (graph, algorithm, seed, options), so when a worker
+// dies mid-job the front end re-dispatches the identical job to another
+// worker and gets the identical answer — retry is idempotent by
+// construction, never a source of divergent results.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dima/internal/core"
+	"dima/internal/metrics"
+	"dima/internal/msg"
+	dnet "dima/internal/net"
+	"dima/internal/service"
+)
+
+// Frame kinds of the worker protocol, distinct from the node-transport
+// kinds in internal/net so a frame from a cross-wired peer is
+// recognizably foreign.
+const (
+	frameHello     msg.FrameKind = 0x21 // worker → fe: msg.WorkerHello
+	frameWelcome   msg.FrameKind = 0x22 // fe → worker: msg.WorkerWelcome
+	frameHeartbeat msg.FrameKind = 0x23 // worker → fe: msg.Heartbeat
+	frameJob       msg.FrameKind = 0x24 // fe → worker: msg.JobHeader + graph section
+	frameCancel    msg.FrameKind = 0x25 // fe → worker: job id, no payload
+	frameRound     msg.FrameKind = 0x26 // worker → fe: job id + RoundStats JSON
+	frameResult    msg.FrameKind = 0x27 // worker → fe: job id + core.Result JSON
+	frameJobError  msg.FrameKind = 0x28 // worker → fe: job id + error text
+)
+
+// writeTimeout bounds any single frame write on either side; a peer
+// that cannot absorb a frame for this long is treated as gone.
+const writeTimeout = 30 * time.Second
+
+// WorkerError is the typed failure a job observes when the worker
+// executing it died (crash, heartbeat loss, broken connection) rather
+// than the run itself failing. The front end retries the job once on
+// another worker before letting this surface.
+type WorkerError struct {
+	// Worker is the registry id of the worker that was lost.
+	Worker string
+	// JobID is the dispatch id the job had on that worker.
+	JobID string
+	// Reason is the underlying transport or deadline error.
+	Reason error
+
+	conn *workerConn // retry exclusion; nil when no dispatch happened
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("cluster: worker %s lost with job %s in flight: %v", e.Worker, e.JobID, e.Reason)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Reason }
+
+// ErrNoWorkers is returned by the dispatching runner when the registry
+// is empty at pick time.
+var ErrNoWorkers = errors.New("cluster: no workers registered")
+
+// Config configures a FrontEnd.
+type Config struct {
+	// Listen is the TCP address workers dial ("host:port"; ":0" for an
+	// ephemeral port in tests).
+	Listen string
+	// Token authenticates workers: a hello with any other value is
+	// rejected before registration.
+	Token uint64
+	// HeartbeatInterval is the cadence workers are told to report load
+	// at (default 1s); HeartbeatTimeout is how long a silent connection
+	// survives before eviction (default 3× the interval).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Registry, when non-nil, receives the cluster instruments
+	// (serve_cluster_*).
+	Registry *metrics.Registry
+	// Logf, when non-nil, receives operational log lines (registrations,
+	// evictions, retries).
+	Logf func(format string, args ...any)
+}
+
+// dispatch is one job attempt on one worker. rounds accumulates the
+// streamed RoundStats under FrontEnd.mu; done receives the attempt's
+// single terminal outcome.
+type dispatch struct {
+	id     string
+	rounds []metrics.RoundStats
+	done   chan outcome
+}
+
+// outcome is a dispatch's terminal event: exactly one field is set.
+type outcome struct {
+	res   *core.Result
+	err   error        // remote runner error — deterministic, not retried
+	death *WorkerError // worker lost — retried once
+}
+
+// workerConn is one registered worker. wmu serializes frame writes; the
+// load/registry fields are guarded by FrontEnd.mu.
+type workerConn struct {
+	id       string
+	name     string
+	addr     string
+	capacity int
+	conn     net.Conn
+	wmu      sync.Mutex
+
+	running  int
+	queued   int
+	lastBeat time.Time
+	inflight map[string]*dispatch
+	dead     bool
+}
+
+func (w *workerConn) writeFrame(kind msg.FrameKind, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	_ = w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return msg.WriteFrame(w.conn, kind, payload)
+}
+
+// FrontEnd is the routing layer: it owns the worker registry and hands
+// the service a Runner that executes jobs remotely. It implements
+// service.ClusterStatus for /readyz and /healthz.
+type FrontEnd struct {
+	cfg  Config
+	ln   net.Listener
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu           sync.Mutex
+	workers      []*workerConn // registration order; dead ones removed
+	nextWorker   int
+	nextDispatch int
+	inflight     int // dispatches awaiting an outcome, for Drain
+	dispatched   int64
+	retries      int64
+	workerErrors int64
+	closed       bool
+
+	gWorkers      *metrics.Gauge
+	gHeartbeatAge *metrics.Gauge
+	cDispatch     *metrics.Counter
+	cRetries      *metrics.Counter
+	cWorkerErrs   *metrics.Counter
+}
+
+// Listen starts a front end accepting worker registrations.
+func Listen(cfg Config) (*FrontEnd, error) {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 3 * cfg.HeartbeatInterval
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Listen, err)
+	}
+	fe := &FrontEnd{
+		cfg:           cfg,
+		ln:            ln,
+		stop:          make(chan struct{}),
+		gWorkers:      reg.Gauge("serve_cluster_workers"),
+		gHeartbeatAge: reg.Gauge("serve_cluster_heartbeat_age_usec"),
+		cDispatch:     reg.Counter("serve_cluster_dispatch_total"),
+		cRetries:      reg.Counter("serve_cluster_retries_total"),
+		cWorkerErrs:   reg.Counter("serve_cluster_worker_errors_total"),
+	}
+	for name, help := range map[string]string{
+		"serve_cluster_workers":             "Workers currently registered with the front end.",
+		"serve_cluster_heartbeat_age_usec":  "Age of the stalest registered worker's last heartbeat, in microseconds.",
+		"serve_cluster_dispatch_total":      "Job dispatch attempts to workers (retries included).",
+		"serve_cluster_retries_total":       "Jobs re-dispatched after losing their worker mid-run.",
+		"serve_cluster_worker_errors_total": "Worker failures observed (evictions, broken connections, cancel timeouts).",
+	} {
+		reg.Help(name, help)
+	}
+	fe.wg.Add(2)
+	go fe.accept()
+	go fe.janitor()
+	return fe, nil
+}
+
+// Addr is the bound listen address, for workers to dial.
+func (fe *FrontEnd) Addr() string { return fe.ln.Addr().String() }
+
+// accept registers workers until the listener closes.
+func (fe *FrontEnd) accept() {
+	defer fe.wg.Done()
+	for {
+		c, err := fe.ln.Accept()
+		if err != nil {
+			return
+		}
+		fe.wg.Add(1)
+		go fe.serveConn(c)
+	}
+}
+
+// reject answers a failed handshake with an error frame (empty job id)
+// so the worker can log why, then drops the connection.
+func reject(c net.Conn, reason string) {
+	_ = c.SetWriteDeadline(time.Now().Add(writeTimeout))
+	_ = msg.WriteFrame(c, frameJobError, msg.AppendJobBlob(nil, "", []byte(reason)))
+	c.Close()
+}
+
+// serveConn runs one worker connection end to end: handshake, registry
+// entry, then the frame loop until the connection dies or is evicted.
+func (fe *FrontEnd) serveConn(c net.Conn) {
+	defer fe.wg.Done()
+	_ = c.SetReadDeadline(time.Now().Add(fe.cfg.HeartbeatTimeout))
+	fr := msg.NewFrameReader(c, 0)
+	kind, payload, err := fr.Next()
+	if err != nil || kind != frameHello {
+		reject(c, "cluster: want a worker hello frame first")
+		return
+	}
+	hello, err := msg.DecodeWorkerHello(payload)
+	if err != nil {
+		reject(c, err.Error())
+		return
+	}
+	if hello.Token != fe.cfg.Token {
+		fe.cfg.Logf("cluster: rejected worker from %s: bad token", c.RemoteAddr())
+		reject(c, "cluster: bad launch token")
+		return
+	}
+	fe.mu.Lock()
+	if fe.closed {
+		fe.mu.Unlock()
+		reject(c, "cluster: front end shutting down")
+		return
+	}
+	fe.nextWorker++
+	w := &workerConn{
+		id:       fmt.Sprintf("w%03d", fe.nextWorker),
+		name:     hello.Name,
+		addr:     c.RemoteAddr().String(),
+		capacity: hello.Capacity,
+		conn:     c,
+		lastBeat: time.Now(),
+		inflight: map[string]*dispatch{},
+	}
+	fe.workers = append(fe.workers, w)
+	fe.gWorkers.Set(int64(len(fe.workers)))
+	fe.mu.Unlock()
+	welcome := msg.WorkerWelcome{ID: w.id, HeartbeatMillis: int(fe.cfg.HeartbeatInterval / time.Millisecond)}
+	if welcome.HeartbeatMillis <= 0 {
+		welcome.HeartbeatMillis = 1
+	}
+	if err := w.writeFrame(frameWelcome, welcome.Append(nil)); err != nil {
+		fe.fail(w, fmt.Errorf("welcome write: %w", err))
+		return
+	}
+	fe.cfg.Logf("cluster: worker %s registered from %s (name %q, capacity %d)",
+		w.id, w.addr, w.name, w.capacity)
+	fe.readLoop(w, fr)
+}
+
+// readLoop consumes one worker's frames. Every read is bounded by the
+// heartbeat timeout, so a worker that stops heartbeating — SIGKILL, a
+// wedged process, a cut link — fails its next read deadline and is
+// evicted within one timeout.
+func (fe *FrontEnd) readLoop(w *workerConn, fr *msg.FrameReader) {
+	for {
+		_ = w.conn.SetReadDeadline(time.Now().Add(fe.cfg.HeartbeatTimeout))
+		kind, payload, err := fr.Next()
+		if err != nil {
+			fe.fail(w, err)
+			return
+		}
+		switch kind {
+		case frameHeartbeat:
+			hb, err := msg.DecodeHeartbeat(payload)
+			if err != nil {
+				fe.fail(w, err)
+				return
+			}
+			fe.mu.Lock()
+			w.running, w.queued, w.lastBeat = hb.Running, hb.Queued, time.Now()
+			fe.mu.Unlock()
+		case frameRound:
+			id, blob, err := msg.DecodeJobBlob(payload)
+			if err != nil {
+				fe.fail(w, err)
+				return
+			}
+			var rs metrics.RoundStats
+			if err := json.Unmarshal(blob, &rs); err != nil {
+				fe.fail(w, fmt.Errorf("job %s round stats: %w", id, err))
+				return
+			}
+			fe.mu.Lock()
+			// A dispatch the front end abandoned (cancel grace expired)
+			// may still stream; unknown ids are dropped, not errors.
+			if d := w.inflight[id]; d != nil {
+				d.rounds = append(d.rounds, rs)
+			}
+			fe.mu.Unlock()
+		case frameResult:
+			id, blob, err := msg.DecodeJobBlob(payload)
+			if err != nil {
+				fe.fail(w, err)
+				return
+			}
+			res := new(core.Result)
+			if err := json.Unmarshal(blob, res); err != nil {
+				fe.fail(w, fmt.Errorf("job %s result: %w", id, err))
+				return
+			}
+			fe.conclude(w, id, outcome{res: res})
+		case frameJobError:
+			id, blob, err := msg.DecodeJobBlob(payload)
+			if err != nil {
+				fe.fail(w, err)
+				return
+			}
+			fe.conclude(w, id, outcome{err: fmt.Errorf("cluster: worker %s: %s", w.id, blob)})
+		default:
+			fe.fail(w, fmt.Errorf("unexpected %#x frame", uint8(kind)))
+			return
+		}
+	}
+}
+
+// conclude delivers a dispatch's terminal outcome exactly once; an
+// unknown id (already concluded or abandoned) is ignored.
+func (fe *FrontEnd) conclude(w *workerConn, id string, o outcome) {
+	fe.mu.Lock()
+	d := w.inflight[id]
+	if d != nil {
+		delete(w.inflight, id)
+		fe.inflight--
+	}
+	fe.mu.Unlock()
+	if d != nil {
+		d.done <- o
+	}
+}
+
+// fail evicts a worker: removes it from the registry, closes its
+// connection, and concludes every in-flight dispatch with a typed
+// WorkerError so the waiting jobs can retry. Idempotent per worker.
+func (fe *FrontEnd) fail(w *workerConn, reason error) {
+	fe.mu.Lock()
+	if w.dead {
+		fe.mu.Unlock()
+		return
+	}
+	w.dead = true
+	for i, x := range fe.workers {
+		if x == w {
+			fe.workers = append(fe.workers[:i], fe.workers[i+1:]...)
+			break
+		}
+	}
+	fe.gWorkers.Set(int64(len(fe.workers)))
+	var ds []*dispatch
+	for id, d := range w.inflight {
+		delete(w.inflight, id)
+		fe.inflight--
+		ds = append(ds, d)
+	}
+	// A worker that closed its connection cleanly with nothing in
+	// flight deregistered, it didn't fail; same for connections torn
+	// down by our own shutdown.
+	clean := len(ds) == 0 && (errors.Is(reason, io.EOF) || fe.closed)
+	if !clean {
+		fe.workerErrors++
+		fe.cWorkerErrs.Inc()
+	}
+	fe.mu.Unlock()
+	w.conn.Close()
+	if clean {
+		fe.cfg.Logf("cluster: worker %s deregistered", w.id)
+	} else {
+		fe.cfg.Logf("cluster: worker %s lost (%d jobs in flight): %v", w.id, len(ds), reason)
+	}
+	for _, d := range ds {
+		d.done <- outcome{death: &WorkerError{Worker: w.id, JobID: d.id, Reason: reason, conn: w}}
+	}
+}
+
+// janitor refreshes the heartbeat-age gauge. Eviction itself rides the
+// per-read deadlines in readLoop; the gauge exists so an operator can
+// watch staleness approach the deadline before anything is cut off.
+func (fe *FrontEnd) janitor() {
+	defer fe.wg.Done()
+	tick := time.NewTicker(fe.cfg.HeartbeatInterval / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-fe.stop:
+			return
+		case <-tick.C:
+			var maxAge time.Duration
+			now := time.Now()
+			fe.mu.Lock()
+			for _, w := range fe.workers {
+				if age := now.Sub(w.lastBeat); age > maxAge {
+					maxAge = age
+				}
+			}
+			fe.mu.Unlock()
+			fe.gHeartbeatAge.Set(maxAge.Microseconds())
+		}
+	}
+}
+
+// pick chooses the dispatch target: fewest jobs in flight, ties broken
+// by registration order — deterministic, so a given load state always
+// routes the same way.
+func (fe *FrontEnd) pick(exclude *workerConn) (*workerConn, *dispatch, error) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.closed {
+		return nil, nil, errors.New("cluster: front end closed")
+	}
+	var w *workerConn
+	for _, cand := range fe.workers {
+		if cand == exclude || cand.dead {
+			continue
+		}
+		if w == nil || len(cand.inflight) < len(w.inflight) {
+			w = cand
+		}
+	}
+	if w == nil {
+		return nil, nil, ErrNoWorkers
+	}
+	fe.nextDispatch++
+	d := &dispatch{id: fmt.Sprintf("d%06d", fe.nextDispatch), done: make(chan outcome, 1)}
+	w.inflight[d.id] = d
+	fe.inflight++
+	fe.dispatched++
+	return w, d, nil
+}
+
+// runOnce executes one dispatch attempt: pick a worker, ship the job,
+// wait for its outcome. Cancellation sends a cancel frame and keeps
+// waiting (the worker aborts at its next round barrier and returns the
+// partial result); a worker that ignores the cancel past the heartbeat
+// timeout is abandoned with a WorkerError.
+func (fe *FrontEnd) runOnce(ctx context.Context, req service.JobRequest, exclude *workerConn) (*core.Result, []metrics.RoundStats, error) {
+	w, d, err := fe.pick(exclude)
+	if err != nil {
+		return nil, nil, err
+	}
+	fe.cDispatch.Inc()
+	hdr := msg.JobHeader{
+		ID: d.id, Strong: req.Strong, Recovery: req.Recovery,
+		Seed: req.Seed, MaxRounds: req.MaxRounds,
+	}
+	payload := dnet.AppendGraph(hdr.Append(nil), req.Graph)
+	if err := w.writeFrame(frameJob, payload); err != nil {
+		fe.fail(w, fmt.Errorf("job write: %w", err))
+		// fail concluded d with the death outcome; fall through to wait.
+	}
+	ctxDone := ctx.Done()
+	var grace *time.Timer
+	var graceC <-chan time.Time
+	defer func() {
+		if grace != nil {
+			grace.Stop()
+		}
+	}()
+	for {
+		select {
+		case o := <-d.done:
+			return fe.settle(d, o)
+		case <-ctxDone:
+			ctxDone = nil // fire once; the channel stays closed
+			// Best effort: a write failure here means the connection is
+			// already dying and readLoop will conclude the dispatch.
+			_ = w.writeFrame(frameCancel, msg.AppendJobBlob(nil, d.id, nil))
+			grace = time.NewTimer(fe.cfg.HeartbeatTimeout)
+			graceC = grace.C
+		case <-graceC:
+			// The outcome may have raced the timer; prefer it.
+			select {
+			case o := <-d.done:
+				return fe.settle(d, o)
+			default:
+			}
+			fe.mu.Lock()
+			delete(w.inflight, d.id)
+			fe.inflight--
+			fe.workerErrors++
+			fe.mu.Unlock()
+			fe.cWorkerErrs.Inc()
+			return nil, nil, &WorkerError{
+				Worker: w.id, JobID: d.id, conn: w,
+				Reason: fmt.Errorf("no response to cancel within %v", fe.cfg.HeartbeatTimeout),
+			}
+		}
+	}
+}
+
+// settle unpacks an outcome. The rounds slice is safe to read without
+// the lock: the dispatch is out of the inflight map, so the reader is
+// done appending.
+func (fe *FrontEnd) settle(d *dispatch, o outcome) (*core.Result, []metrics.RoundStats, error) {
+	switch {
+	case o.death != nil:
+		return nil, nil, o.death
+	case o.err != nil:
+		return nil, nil, o.err
+	default:
+		return o.res, d.rounds, nil
+	}
+}
+
+// Runner returns the dispatching runner to plug into
+// service.Config.Runner: jobs submitted over HTTP execute on remote
+// workers, with one transparent retry when a worker dies mid-run.
+// Round stats are withheld from the sink until the attempt that
+// produced them succeeds, so a failed attempt's partial stream never
+// leaks into the job record.
+func (fe *FrontEnd) Runner() service.Runner {
+	return func(ctx context.Context, req service.JobRequest, sink metrics.Sink) (*core.Result, error) {
+		res, rounds, err := fe.runOnce(ctx, req, nil)
+		var we *WorkerError
+		if errors.As(err, &we) && we.conn != nil && ctx.Err() == nil {
+			fe.mu.Lock()
+			fe.retries++
+			fe.mu.Unlock()
+			fe.cRetries.Inc()
+			fe.cfg.Logf("cluster: retrying job elsewhere: %v", we)
+			res, rounds, err = fe.runOnce(ctx, req, we.conn)
+			if errors.Is(err, ErrNoWorkers) {
+				err = we // nowhere to retry: surface the original loss
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, rs := range rounds {
+			sink.EmitRound(rs)
+		}
+		return res, nil
+	}
+}
+
+// ClusterHealth implements service.ClusterStatus.
+func (fe *FrontEnd) ClusterHealth() service.ClusterHealth {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	h := service.ClusterHealth{
+		Ready:        len(fe.workers) > 0 && !fe.closed,
+		Workers:      make([]service.WorkerInfo, 0, len(fe.workers)),
+		Dispatched:   fe.dispatched,
+		Retries:      fe.retries,
+		WorkerErrors: fe.workerErrors,
+	}
+	now := time.Now()
+	for _, w := range fe.workers {
+		h.Workers = append(h.Workers, service.WorkerInfo{
+			ID: w.id, Name: w.name, Addr: w.addr,
+			Running: w.running, Queued: w.queued, Inflight: len(w.inflight),
+			HeartbeatAgeSec: now.Sub(w.lastBeat).Seconds(),
+		})
+	}
+	return h
+}
+
+// Drain waits for every in-flight dispatch to conclude. Call it after
+// the HTTP service's own Shutdown: the service drains its queue through
+// the dispatching runner, so normally nothing remains by the time this
+// runs; the deadline covers the case where it does.
+func (fe *FrontEnd) Drain(ctx context.Context) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		fe.mu.Lock()
+		n := fe.inflight
+		fe.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: drain abandoned %d in-flight jobs: %w", n, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// Close stops accepting registrations, drops every worker connection
+// (concluding any in-flight dispatches with WorkerError), and waits for
+// the connection handlers to exit. Idempotent.
+func (fe *FrontEnd) Close() {
+	fe.mu.Lock()
+	if fe.closed {
+		fe.mu.Unlock()
+		return
+	}
+	fe.closed = true
+	ws := append([]*workerConn(nil), fe.workers...)
+	fe.mu.Unlock()
+	close(fe.stop)
+	fe.ln.Close()
+	for _, w := range ws {
+		w.conn.Close() // readLoop fails the worker and flushes its dispatches
+	}
+	fe.wg.Wait()
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dima/internal/graph"
+	"dima/internal/metrics"
+	"dima/internal/msg"
+	dnet "dima/internal/net"
+	"dima/internal/service"
+)
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Connect is the front end's cluster address ("host:port").
+	Connect string
+	// Token must match the front end's launch token.
+	Token uint64
+	// Name is an operator label reported in the registry (optional).
+	Name string
+	// Capacity is how many jobs run concurrently (default 1); jobs
+	// beyond it queue on the worker and count in its heartbeat load.
+	Capacity int
+	// ShardWorkers is the shard engine's worker count per job (0 =
+	// GOMAXPROCS). Results are byte-identical at any value, so workers
+	// of different sizes can share a pool.
+	ShardWorkers int
+	// Runner executes each dispatched job; nil means
+	// service.ShardRunner(ShardWorkers). Tests inject failures here.
+	Runner service.Runner
+	// DialTimeout bounds the connect + handshake (default 10s).
+	DialTimeout time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// worker is one registered worker process's state.
+type worker struct {
+	cfg  WorkerConfig
+	conn net.Conn
+	wmu  sync.Mutex
+	id   string
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	jobs    map[string]context.CancelFunc
+	running int
+	queued  int
+
+	sem   chan struct{}
+	jobWG sync.WaitGroup
+}
+
+// RunWorker dials the front end, registers with the launch token, and
+// serves dispatched jobs until ctx is canceled or the connection ends.
+// A connection closed by the front end with no jobs in flight (its
+// drain) returns nil; losing it mid-job returns an error after the
+// jobs' goroutines are torn down.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = service.ShardRunner(cfg.ShardWorkers)
+	}
+	d := net.Dialer{Timeout: cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Connect)
+	if err != nil {
+		return fmt.Errorf("cluster: dial %s: %w", cfg.Connect, err)
+	}
+	w := &worker{
+		cfg:  cfg,
+		conn: conn,
+		jobs: map[string]context.CancelFunc{},
+		sem:  make(chan struct{}, cfg.Capacity),
+	}
+	w.baseCtx, w.baseCancel = context.WithCancel(ctx)
+	defer w.baseCancel()
+	defer conn.Close()
+	return w.run()
+}
+
+func (w *worker) writeFrame(kind msg.FrameKind, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	_ = w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return msg.WriteFrame(w.conn, kind, payload)
+}
+
+// run performs the handshake and serves frames.
+func (w *worker) run() error {
+	hello := msg.WorkerHello{Name: w.cfg.Name, Capacity: w.cfg.Capacity, Token: w.cfg.Token}
+	if err := w.writeFrame(frameHello, hello.Append(nil)); err != nil {
+		return fmt.Errorf("cluster: hello: %w", err)
+	}
+	_ = w.conn.SetReadDeadline(time.Now().Add(w.cfg.DialTimeout))
+	fr := msg.NewFrameReader(w.conn, 0)
+	kind, payload, err := fr.Next()
+	if err != nil {
+		return fmt.Errorf("cluster: handshake read: %w", err)
+	}
+	if kind == frameJobError {
+		_, text, derr := msg.DecodeJobBlob(payload)
+		if derr == nil {
+			return fmt.Errorf("cluster: front end rejected registration: %s", text)
+		}
+		return errors.New("cluster: front end rejected registration")
+	}
+	if kind != frameWelcome {
+		return fmt.Errorf("cluster: handshake wants a welcome frame, got %#x", uint8(kind))
+	}
+	welcome, err := msg.DecodeWorkerWelcome(payload)
+	if err != nil {
+		return fmt.Errorf("cluster: handshake: %w", err)
+	}
+	w.id = welcome.ID
+	w.cfg.Logf("worker %s: registered with %s (heartbeat every %dms)",
+		w.id, w.cfg.Connect, welcome.HeartbeatMillis)
+
+	// Heartbeats ride their own goroutine so a long round never starves
+	// them; baseCancel (set on every exit path) stops it.
+	w.jobWG.Add(1)
+	go w.heartbeatLoop(time.Duration(welcome.HeartbeatMillis) * time.Millisecond)
+
+	err = w.readLoop(fr)
+	w.baseCancel() // abort running jobs; their goroutines exit promptly
+	w.jobWG.Wait()
+	return err
+}
+
+// heartbeatLoop reports load until the worker shuts down. A failed
+// write closes the connection so the read loop exits too.
+func (w *worker) heartbeatLoop(interval time.Duration) {
+	defer w.jobWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.baseCtx.Done():
+			return
+		case <-tick.C:
+			w.mu.Lock()
+			hb := msg.Heartbeat{Running: w.running, Queued: w.queued}
+			w.mu.Unlock()
+			if err := w.writeFrame(frameHeartbeat, hb.Append(nil)); err != nil {
+				w.conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// readLoop serves front-end frames until the connection ends.
+func (w *worker) readLoop(fr *msg.FrameReader) error {
+	for {
+		// No read deadline in steady state: job frames are sporadic, and
+		// liveness flows the other way (our heartbeats). A dead front end
+		// surfaces as a heartbeat write error closing the connection.
+		_ = w.conn.SetReadDeadline(time.Time{})
+		kind, payload, err := fr.Next()
+		if err != nil {
+			w.mu.Lock()
+			open := len(w.jobs)
+			w.mu.Unlock()
+			if open == 0 && (errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)) {
+				// Clean close at a frame boundary with nothing running:
+				// the front end drained and shut down, or our own ctx
+				// closed the connection. Normal exit.
+				if ctxErr := w.baseCtx.Err(); ctxErr != nil {
+					return ctxErr
+				}
+				w.cfg.Logf("worker %s: front end closed the connection; exiting", w.id)
+				return nil
+			}
+			return fmt.Errorf("cluster: connection lost with %d jobs in flight: %w", open, err)
+		}
+		switch kind {
+		case frameJob:
+			hdr, tail, err := msg.DecodeJobHeader(payload)
+			if err != nil {
+				return fmt.Errorf("cluster: job frame: %w", err)
+			}
+			g, rest, err := dnet.DecodeGraph(tail)
+			if err != nil {
+				return fmt.Errorf("cluster: job %s graph: %w", hdr.ID, err)
+			}
+			if len(rest) != 0 {
+				return fmt.Errorf("cluster: job %s: %d trailing bytes after graph", hdr.ID, len(rest))
+			}
+			jctx, cancel := context.WithCancel(w.baseCtx)
+			w.mu.Lock()
+			w.jobs[hdr.ID] = cancel
+			w.queued++
+			w.mu.Unlock()
+			w.jobWG.Add(1)
+			go w.runJob(jctx, cancel, hdr, g)
+		case frameCancel:
+			id, _, err := msg.DecodeJobBlob(payload)
+			if err != nil {
+				return fmt.Errorf("cluster: cancel frame: %w", err)
+			}
+			w.mu.Lock()
+			cancel := w.jobs[id]
+			w.mu.Unlock()
+			if cancel != nil {
+				w.cfg.Logf("worker %s: cancel for job %s", w.id, id)
+				cancel()
+			}
+		default:
+			return fmt.Errorf("cluster: unexpected %#x frame from front end", uint8(kind))
+		}
+	}
+}
+
+// runJob executes one dispatched job and streams its rounds + result
+// back. The capacity semaphore gates actual execution; a job canceled
+// while queued skips straight to the runner, which aborts at its first
+// round barrier and yields the same aborted-result shape a running job
+// would.
+func (w *worker) runJob(jctx context.Context, cancel context.CancelFunc, hdr msg.JobHeader, g *graph.Graph) {
+	defer w.jobWG.Done()
+	defer cancel()
+	acquired := false
+	select {
+	case w.sem <- struct{}{}:
+		acquired = true
+	case <-jctx.Done():
+	}
+	w.mu.Lock()
+	w.queued--
+	w.running++
+	w.mu.Unlock()
+	w.cfg.Logf("worker %s: job %s start (n=%d m=%d strong=%v recovery=%v seed=%d)",
+		w.id, hdr.ID, g.N(), g.M(), hdr.Strong, hdr.Recovery, hdr.Seed)
+
+	var mem metrics.Memory
+	req := service.JobRequest{
+		Graph: g, Strong: hdr.Strong, Recovery: hdr.Recovery,
+		Seed: hdr.Seed, MaxRounds: hdr.MaxRounds,
+	}
+	res, err := w.cfg.Runner(jctx, req, &mem)
+
+	if acquired {
+		<-w.sem
+	}
+	w.mu.Lock()
+	w.running--
+	delete(w.jobs, hdr.ID)
+	w.mu.Unlock()
+
+	if err != nil {
+		w.cfg.Logf("worker %s: job %s failed: %v", w.id, hdr.ID, err)
+		_ = w.writeFrame(frameJobError, msg.AppendJobBlob(nil, hdr.ID, []byte(err.Error())))
+		return
+	}
+	// Rounds first, result last, matching the local emission order the
+	// front end replays into the job's sink.
+	for _, rs := range mem.Rounds {
+		blob, merr := json.Marshal(rs)
+		if merr != nil {
+			_ = w.writeFrame(frameJobError, msg.AppendJobBlob(nil, hdr.ID, []byte(merr.Error())))
+			return
+		}
+		if w.writeFrame(frameRound, msg.AppendJobBlob(nil, hdr.ID, blob)) != nil {
+			return // connection is gone; the front end handles the loss
+		}
+	}
+	blob, merr := json.Marshal(res)
+	if merr != nil {
+		_ = w.writeFrame(frameJobError, msg.AppendJobBlob(nil, hdr.ID, []byte(merr.Error())))
+		return
+	}
+	_ = w.writeFrame(frameResult, msg.AppendJobBlob(nil, hdr.ID, blob))
+	w.cfg.Logf("worker %s: job %s done (%d rounds)", w.id, hdr.ID, len(mem.Rounds))
+}

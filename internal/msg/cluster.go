@@ -1,0 +1,310 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Control-plane payloads for the dimaserve cluster (docs/
+// CLUSTER_SERVE.md): the handshake, heartbeat, and job frames a
+// coloring worker exchanges with the routing front end. The discipline
+// mirrors the node transport in frame.go — a versioned magic opens the
+// handshake, a launch token proves the worker was invited, and every
+// decoder is strict: a payload that parses but leaves bytes unconsumed
+// is an error, so codec drift between front-end and worker builds
+// surfaces at the first divergent frame.
+//
+// Frame kinds remain opaque to this package; internal/cluster assigns
+// them, the way internal/net assigns the node-transport kinds.
+
+// WorkerHandshakeVersion is the wire version of the worker registry
+// protocol. Bump on any change to the grammar in this file; front end
+// and worker refuse mismatched peers.
+const WorkerHandshakeVersion = 1
+
+// workerMagic opens every worker handshake, distinct from the node
+// transport's helloMagic so a worker dialed at a node coordinator (or
+// vice versa) is rejected on the first four bytes.
+var workerMagic = [4]byte{'d', 'i', 'm', 'w'}
+
+// WorkerHello is the first frame a worker sends on its registry
+// connection: an operator label, how many jobs it will run
+// concurrently, and the auth token proving the front end invited it.
+type WorkerHello struct {
+	Name     string
+	Capacity int
+	Token    uint64
+}
+
+// Append appends the handshake encoding to buf.
+func (h WorkerHello) Append(buf []byte) []byte {
+	buf = append(buf, workerMagic[:]...)
+	buf = append(buf, WorkerHandshakeVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(h.Name)))
+	buf = append(buf, h.Name...)
+	buf = binary.AppendUvarint(buf, uint64(h.Capacity))
+	return binary.BigEndian.AppendUint64(buf, h.Token)
+}
+
+// maxWorkerName bounds the operator label so a hostile hello cannot
+// force an arbitrary allocation.
+const maxWorkerName = 256
+
+// DecodeWorkerHello parses a worker handshake, rejecting bad magic,
+// version skew, oversized names, and trailing garbage.
+func DecodeWorkerHello(buf []byte) (WorkerHello, error) {
+	var h WorkerHello
+	if len(buf) < len(workerMagic)+1 {
+		return h, fmt.Errorf("msg: truncated worker handshake (%d bytes)", len(buf))
+	}
+	if [4]byte(buf[:4]) != workerMagic {
+		return h, fmt.Errorf("msg: bad worker handshake magic %q", buf[:4])
+	}
+	if v := buf[4]; v != WorkerHandshakeVersion {
+		return h, fmt.Errorf("msg: worker handshake version %d, want %d", v, WorkerHandshakeVersion)
+	}
+	dec := dec{buf: buf[5:]}
+	name := dec.lenBytes("worker name")
+	if dec.err == nil && len(name) > maxWorkerName {
+		return h, fmt.Errorf("msg: worker name of %d bytes exceeds the %d-byte bound", len(name), maxWorkerName)
+	}
+	capacity := dec.uvarint("worker capacity")
+	if dec.err != nil {
+		return h, dec.err
+	}
+	if capacity > 1<<20 {
+		return h, fmt.Errorf("msg: implausible worker capacity %d", capacity)
+	}
+	if len(dec.buf) != 8 {
+		return h, fmt.Errorf("msg: worker handshake token wants 8 bytes, %d remain", len(dec.buf))
+	}
+	h.Name = string(name)
+	h.Capacity = int(capacity)
+	h.Token = binary.BigEndian.Uint64(dec.buf)
+	return h, nil
+}
+
+// WorkerWelcome is the front end's handshake reply: the registry id it
+// assigned and the heartbeat cadence it expects. A worker that stays
+// silent for several intervals is evicted.
+type WorkerWelcome struct {
+	ID              string
+	HeartbeatMillis int
+}
+
+// Append appends the welcome encoding to buf.
+func (w WorkerWelcome) Append(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(w.ID)))
+	buf = append(buf, w.ID...)
+	return binary.AppendUvarint(buf, uint64(w.HeartbeatMillis))
+}
+
+// DecodeWorkerWelcome parses a welcome strictly.
+func DecodeWorkerWelcome(buf []byte) (WorkerWelcome, error) {
+	var w WorkerWelcome
+	dec := dec{buf: buf}
+	id := dec.lenBytes("worker id")
+	hb := dec.uvarint("heartbeat interval")
+	if dec.err != nil {
+		return w, dec.err
+	}
+	if len(id) > maxWorkerName {
+		return w, fmt.Errorf("msg: worker id of %d bytes exceeds the %d-byte bound", len(id), maxWorkerName)
+	}
+	if hb == 0 || hb > 1<<31 {
+		return w, fmt.Errorf("msg: implausible heartbeat interval %dms", hb)
+	}
+	if len(dec.buf) != 0 {
+		return w, fmt.Errorf("msg: %d trailing bytes after worker welcome", len(dec.buf))
+	}
+	w.ID = string(id)
+	w.HeartbeatMillis = int(hb)
+	return w, nil
+}
+
+// Heartbeat is a worker's periodic load report: jobs executing right
+// now and jobs accepted but still waiting for a run slot. The front
+// end's router breaks dispatch ties with it and its janitor evicts
+// workers whose last heartbeat is too old.
+type Heartbeat struct {
+	Running int
+	Queued  int
+}
+
+// Append appends the heartbeat encoding to buf.
+func (hb Heartbeat) Append(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(hb.Running))
+	return binary.AppendUvarint(buf, uint64(hb.Queued))
+}
+
+// DecodeHeartbeat parses a heartbeat strictly.
+func DecodeHeartbeat(buf []byte) (Heartbeat, error) {
+	var hb Heartbeat
+	dec := dec{buf: buf}
+	running := dec.uvarint("heartbeat running count")
+	queued := dec.uvarint("heartbeat queued count")
+	if dec.err != nil {
+		return hb, dec.err
+	}
+	if running > 1<<31 || queued > 1<<31 {
+		return hb, fmt.Errorf("msg: implausible heartbeat load %d/%d", running, queued)
+	}
+	if len(dec.buf) != 0 {
+		return hb, fmt.Errorf("msg: %d trailing bytes after heartbeat", len(dec.buf))
+	}
+	hb.Running = int(running)
+	hb.Queued = int(queued)
+	return hb, nil
+}
+
+// Job header flag bits.
+const (
+	jobFlagStrong   = 1 << 0
+	jobFlagRecovery = 1 << 1
+)
+
+// maxJobID bounds dispatch ids the way maxWorkerName bounds labels.
+const maxJobID = 256
+
+// JobHeader is the run description of one dispatched coloring job. The
+// graph itself rides behind the header in the same frame (the node
+// transport's edge-list section); DecodeJobHeader returns the
+// unconsumed tail so the caller can parse it. Everything a run needs to
+// be reproduced bit-for-bit is here — a retry of the same header on
+// another worker yields the identical coloring, which is what makes
+// failover idempotent.
+type JobHeader struct {
+	// ID is the front end's dispatch id, echoed by every worker frame
+	// that concerns this job.
+	ID string
+	// Strong selects Algorithm 2 (strong distance-2 coloring).
+	Strong bool
+	// Recovery enables the loss-recovery protocol layer.
+	Recovery bool
+	// Seed determines every random choice of the run.
+	Seed uint64
+	// MaxRounds caps computation rounds (0 = worker default).
+	MaxRounds int
+}
+
+// Append appends the job header encoding to buf. The caller appends the
+// graph section after it.
+func (j JobHeader) Append(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(j.ID)))
+	buf = append(buf, j.ID...)
+	var flags byte
+	if j.Strong {
+		flags |= jobFlagStrong
+	}
+	if j.Recovery {
+		flags |= jobFlagRecovery
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint64(buf, j.Seed)
+	return binary.AppendUvarint(buf, uint64(j.MaxRounds))
+}
+
+// DecodeJobHeader parses a job header from the front of buf and returns
+// the unconsumed tail (the graph section).
+func DecodeJobHeader(buf []byte) (JobHeader, []byte, error) {
+	var j JobHeader
+	dec := dec{buf: buf}
+	id := dec.lenBytes("job id")
+	if dec.err == nil && len(id) > maxJobID {
+		return j, nil, fmt.Errorf("msg: job id of %d bytes exceeds the %d-byte bound", len(id), maxJobID)
+	}
+	flags := dec.byte("job flags")
+	if dec.err != nil {
+		return j, nil, dec.err
+	}
+	if flags&^byte(jobFlagStrong|jobFlagRecovery) != 0 {
+		return j, nil, fmt.Errorf("msg: unknown job flag bits %#x", flags)
+	}
+	if len(dec.buf) < 8 {
+		return j, nil, fmt.Errorf("msg: truncated job seed")
+	}
+	j.Seed = binary.BigEndian.Uint64(dec.buf[:8])
+	dec.buf = dec.buf[8:]
+	maxRounds := dec.uvarint("job max rounds")
+	if dec.err != nil {
+		return j, nil, dec.err
+	}
+	if maxRounds > 1<<31 {
+		return j, nil, fmt.Errorf("msg: implausible job round cap %d", maxRounds)
+	}
+	j.ID = string(id)
+	j.Strong = flags&jobFlagStrong != 0
+	j.Recovery = flags&jobFlagRecovery != 0
+	j.MaxRounds = int(maxRounds)
+	return j, dec.buf, nil
+}
+
+// AppendJobBlob appends the common "job id + opaque payload" section
+// used by the per-job frames (round stats, result, error, cancel).
+func AppendJobBlob(buf []byte, id string, blob []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(id)))
+	buf = append(buf, id...)
+	return append(buf, blob...)
+}
+
+// DecodeJobBlob splits a job frame payload into its id and the
+// remaining blob. The blob aliases buf.
+func DecodeJobBlob(buf []byte) (string, []byte, error) {
+	dec := dec{buf: buf}
+	id := dec.lenBytes("job id")
+	if dec.err != nil {
+		return "", nil, dec.err
+	}
+	if len(id) > maxJobID {
+		return "", nil, fmt.Errorf("msg: job id of %d bytes exceeds the %d-byte bound", len(id), maxJobID)
+	}
+	return string(id), dec.buf, nil
+}
+
+// dec is a cursor over a payload that latches the first decode error,
+// keeping multi-field parsers linear (the cluster twin of internal/
+// net's wireDec).
+type dec struct {
+	buf []byte
+	err error
+}
+
+func (d *dec) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("msg: truncated %s", what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *dec) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.err = fmt.Errorf("msg: truncated %s", what)
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *dec) lenBytes(what string) []byte {
+	n := d.uvarint(what + " length")
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("msg: %s of %d bytes exceeds the %d remaining", what, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}

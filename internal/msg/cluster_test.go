@@ -1,0 +1,134 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkerHelloRoundTrip(t *testing.T) {
+	for _, h := range []WorkerHello{
+		{},
+		{Name: "rack-7/worker-2", Capacity: 4, Token: 0xdeadbeefcafef00d},
+		{Name: strings.Repeat("x", maxWorkerName), Capacity: 1 << 20, Token: 1},
+	} {
+		got, err := DecodeWorkerHello(h.Append(nil))
+		if err != nil {
+			t.Fatalf("DecodeWorkerHello(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestWorkerHelloRejects(t *testing.T) {
+	ok := WorkerHello{Name: "w", Capacity: 2, Token: 42}.Append(nil)
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short":            ok[:3],
+		"node magic":       Hello{Shard: 0, Shards: 1, Token: 42}.Append(nil),
+		"trailing garbage": append(append([]byte(nil), ok...), 0xff),
+		"bad version":      append([]byte{'d', 'i', 'm', 'w', 99}, ok[5:]...),
+		"truncated token":  ok[:len(ok)-2],
+		"oversized name": WorkerHello{
+			Name: strings.Repeat("n", maxWorkerName+1), Capacity: 1, Token: 1,
+		}.Append(nil),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeWorkerHello(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestWorkerWelcomeRoundTrip(t *testing.T) {
+	w := WorkerWelcome{ID: "w003", HeartbeatMillis: 1000}
+	got, err := DecodeWorkerWelcome(w.Append(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w {
+		t.Fatalf("round trip: got %+v, want %+v", got, w)
+	}
+	if _, err := DecodeWorkerWelcome(append(w.Append(nil), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := DecodeWorkerWelcome(WorkerWelcome{ID: "w"}.Append(nil)); err == nil {
+		t.Error("zero heartbeat interval accepted")
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	for _, hb := range []Heartbeat{{}, {Running: 3, Queued: 17}} {
+		got, err := DecodeHeartbeat(hb.Append(nil))
+		if err != nil {
+			t.Fatalf("DecodeHeartbeat(%+v): %v", hb, err)
+		}
+		if got != hb {
+			t.Fatalf("round trip: got %+v, want %+v", got, hb)
+		}
+	}
+	if _, err := DecodeHeartbeat(append(Heartbeat{}.Append(nil), 1)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := DecodeHeartbeat(nil); err == nil {
+		t.Error("empty heartbeat accepted")
+	}
+}
+
+func TestJobHeaderRoundTrip(t *testing.T) {
+	graphSection := []byte{9, 8, 7}
+	for _, h := range []JobHeader{
+		{ID: "d000001"},
+		{ID: "d000042", Strong: true, Seed: 1 << 60, MaxRounds: 500},
+		{ID: "d9", Recovery: true, Seed: 7},
+		{ID: "d10", Strong: true, Recovery: true, Seed: 1, MaxRounds: 1},
+	} {
+		buf := append(h.Append(nil), graphSection...)
+		got, rest, err := DecodeJobHeader(buf)
+		if err != nil {
+			t.Fatalf("DecodeJobHeader(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v, want %+v", got, h)
+		}
+		if string(rest) != string(graphSection) {
+			t.Fatalf("tail: got %v, want %v", rest, graphSection)
+		}
+	}
+}
+
+func TestJobHeaderRejects(t *testing.T) {
+	ok := JobHeader{ID: "d1", Seed: 3}.Append(nil)
+	if _, _, err := DecodeJobHeader(ok[:4]); err == nil {
+		t.Error("truncated seed accepted")
+	}
+	bad := append([]byte(nil), ok...)
+	bad[len("d1")+1] = 0xf0 // unknown flag bits
+	if _, _, err := DecodeJobHeader(bad); err == nil {
+		t.Error("unknown flag bits accepted")
+	}
+	long := JobHeader{ID: strings.Repeat("i", maxJobID+1)}.Append(nil)
+	if _, _, err := DecodeJobHeader(long); err == nil {
+		t.Error("oversized job id accepted")
+	}
+}
+
+func TestJobBlobRoundTrip(t *testing.T) {
+	buf := AppendJobBlob(nil, "d000007", []byte("payload"))
+	id, blob, err := DecodeJobBlob(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "d000007" || string(blob) != "payload" {
+		t.Fatalf("got (%q, %q)", id, blob)
+	}
+	// Empty blob is legal (cancel frames are just an id).
+	id, blob, err = DecodeJobBlob(AppendJobBlob(nil, "d1", nil))
+	if err != nil || id != "d1" || len(blob) != 0 {
+		t.Fatalf("empty blob: id %q blob %q err %v", id, blob, err)
+	}
+	if _, _, err := DecodeJobBlob([]byte{200}); err == nil {
+		t.Error("truncated id accepted")
+	}
+}

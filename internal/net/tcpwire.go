@@ -48,11 +48,13 @@ func frameKindName(k msg.FrameKind) string {
 	return fmt.Sprintf("frame(%#x)", uint8(k))
 }
 
-// appendGraph appends the binary graph section: uvarint vertex count,
+// AppendGraph appends the binary graph section: uvarint vertex count,
 // uvarint edge count, then one (u, v) uvarint pair per edge in edge-id
 // order. Graphs with removal holes are rejected by the engines before
-// any frame is built, so edge ids are dense.
-func appendGraph(buf []byte, g *graph.Graph) []byte {
+// any frame is built, so edge ids are dense. Exported because the
+// dimaserve cluster (internal/cluster) ships job graphs in the same
+// section format.
+func AppendGraph(buf []byte, g *graph.Graph) []byte {
 	buf = binary.AppendUvarint(buf, uint64(g.N()))
 	buf = binary.AppendUvarint(buf, uint64(g.M()))
 	for _, e := range g.Edges() {
@@ -62,10 +64,10 @@ func appendGraph(buf []byte, g *graph.Graph) []byte {
 	return buf
 }
 
-// decodeGraph parses the binary graph section from the front of buf,
+// DecodeGraph parses the binary graph section from the front of buf,
 // returning the graph and the unconsumed tail. Edge insertion order is
-// the wire order, so edge ids match the coordinator's exactly.
-func decodeGraph(buf []byte) (*graph.Graph, []byte, error) {
+// the wire order, so edge ids match the sender's exactly.
+func DecodeGraph(buf []byte) (*graph.Graph, []byte, error) {
 	dec := wireDec{buf: buf}
 	n := dec.uvarint("vertex count")
 	m := dec.uvarint("edge count")
@@ -113,7 +115,7 @@ func (w welcome) append(buf []byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(w.shards))
 	buf = binary.AppendUvarint(buf, uint64(w.lo))
 	buf = binary.AppendUvarint(buf, uint64(w.hi))
-	return appendGraph(buf, w.g)
+	return AppendGraph(buf, w.g)
 }
 
 func decodeWelcome(buf []byte) (welcome, error) {
@@ -127,7 +129,7 @@ func decodeWelcome(buf []byte) (welcome, error) {
 	if dec.err != nil {
 		return w, dec.err
 	}
-	g, rest, err := decodeGraph(dec.buf)
+	g, rest, err := DecodeGraph(dec.buf)
 	if err != nil {
 		return w, err
 	}

@@ -27,7 +27,13 @@ import (
 //	POST   /jobs/{id}/mutate  stream mutation batches into a finished
 //	                          edge-coloring job (incremental repair)
 //	POST   /jobs/{id}/cancel  request cancellation (also DELETE /jobs/{id})
-//	GET    /healthz           liveness, queue depth, workers, uptime
+//	GET    /healthz           liveness, queue depth, workers, uptime;
+//	                          in cluster mode also per-worker registry
+//	                          rows and dispatch counters
+//	GET    /readyz            readiness: 200 when the service can accept
+//	                          and execute a job right now, 503 while
+//	                          draining or when cluster mode has no
+//	                          registered workers
 //
 // With Config.Registry set, /metrics (Prometheus text exposition) and
 // /debug/pprof/ are mounted too.
@@ -44,6 +50,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.cfg.Registry != nil {
 		mux.Handle("GET /metrics", metrics.PromHandler(s.cfg.Registry))
 		mux.Handle("GET /debug/pprof/", metrics.DebugHandler(s.cfg.Registry))
@@ -56,6 +63,7 @@ type JobStatus struct {
 	ID          string         `json:"id"`
 	State       State          `json:"state"`
 	Strong      bool           `json:"strong"`
+	Recovery    bool           `json:"recovery,omitempty"`
 	N           int            `json:"n"`
 	M           int            `json:"m"`
 	Seed        uint64         `json:"seed"`
@@ -109,6 +117,7 @@ func (j *job) status() JobStatus {
 		ID:          j.id,
 		State:       j.state,
 		Strong:      j.req.Strong,
+		Recovery:    j.req.Recovery,
 		N:           j.req.Graph.N(),
 		M:           j.req.Graph.M(),
 		Seed:        j.req.Seed,
@@ -302,7 +311,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	depth := len(s.queue)
 	jobs := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    status,
 		"queued":    depth,
 		"queueSize": s.cfg.QueueSize,
@@ -315,7 +324,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"eventSubscribers": s.eventSubs.Value(),
 		"uptimeSeconds":    time.Since(s.started).Seconds(),
 		"startedAt":        s.started,
-	})
+	}
+	if s.cfg.Cluster != nil {
+		body["cluster"] = s.cfg.Cluster.ClusterHealth()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz distinguishes "alive" from "able to take work": a
+// draining server or a cluster front end with an empty worker registry
+// answers 503 so load balancers route around it, while /healthz keeps
+// answering 200 for liveness probes. Local mode is ready whenever it is
+// not draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	switch {
+	case draining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+	case s.cfg.Cluster != nil && !s.cfg.Cluster.ClusterHealth().Ready:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "no workers registered"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -39,6 +39,8 @@ type SubmitRequest struct {
 	// MaxRounds caps computation rounds (0 = server default); the
 	// server's own MaxRounds cap still applies.
 	MaxRounds int `json:"maxRounds"`
+	// Recovery enables the loss-recovery protocol layer for the run.
+	Recovery bool `json:"recovery,omitempty"`
 }
 
 // GenSpec names a graph family and its parameters, mirroring the
@@ -93,6 +95,7 @@ func (s *Server) parseSubmit(r *http.Request) (JobRequest, error) {
 	return JobRequest{
 		Graph:     g,
 		Strong:    r.URL.Query().Get("strong") == "true",
+		Recovery:  r.URL.Query().Get("recovery") == "true",
 		Seed:      seed,
 		MaxRounds: maxRounds,
 	}, nil
@@ -116,7 +119,10 @@ func buildRequest(sub SubmitRequest) (JobRequest, error) {
 	if err != nil {
 		return JobRequest{}, err
 	}
-	return JobRequest{Graph: g, Strong: sub.Strong, Seed: sub.Seed, MaxRounds: sub.MaxRounds}, nil
+	return JobRequest{
+		Graph: g, Strong: sub.Strong, Recovery: sub.Recovery,
+		Seed: sub.Seed, MaxRounds: sub.MaxRounds,
+	}, nil
 }
 
 // maxGenVertices bounds server-side generation: a spec is a few bytes,

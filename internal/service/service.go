@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"dima/internal/automaton"
 	"dima/internal/core"
 	"dima/internal/dynamic"
 	"dima/internal/graph"
@@ -50,9 +51,57 @@ type Config struct {
 	// service mux. Nil keeps the instruments internal and unexposed.
 	Registry *metrics.Registry
 	// Runner executes one job; nil means the shard engine via
-	// core.ColorEdgesCtx / core.ColorStrongCtx. Tests inject
-	// deterministic runners here.
+	// core.ColorEdgesCtx / core.ColorStrongCtx (ShardRunner). Tests
+	// inject deterministic runners here; cluster mode injects a
+	// dispatching runner (internal/cluster) that ships jobs to remote
+	// worker processes.
 	Runner Runner
+	// Cluster, when non-nil, reports the cluster backend behind Runner:
+	// /readyz gates on it having at least one registered worker and
+	// /healthz grows per-worker rows and dispatch counters. Nil means
+	// local execution (always ready).
+	Cluster ClusterStatus
+}
+
+// ClusterStatus is what the HTTP plane needs to know about a cluster
+// backend. internal/cluster's front end implements it; the indirection
+// keeps service free of a dependency on the cluster package.
+type ClusterStatus interface {
+	// ClusterHealth snapshots the worker registry and dispatch counters.
+	ClusterHealth() ClusterHealth
+}
+
+// ClusterHealth is the registry snapshot served under /healthz's
+// "cluster" key and consulted by /readyz.
+type ClusterHealth struct {
+	// Ready reports whether the cluster can accept a job right now (at
+	// least one registered worker).
+	Ready bool `json:"ready"`
+	// Workers lists the live registry, in registration order.
+	Workers []WorkerInfo `json:"workers"`
+	// Dispatched counts job dispatch attempts (retries included),
+	// Retries the re-dispatches after a worker failure, and WorkerErrors
+	// the worker failures observed (evictions and broken connections
+	// with jobs in flight included).
+	Dispatched   int64 `json:"dispatched"`
+	Retries      int64 `json:"retries"`
+	WorkerErrors int64 `json:"workerErrors"`
+}
+
+// WorkerInfo is one registry row.
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	Addr string `json:"addr"`
+	// Running and Queued are the worker's own last heartbeat report;
+	// Inflight is the front end's count of jobs dispatched to it and not
+	// yet concluded.
+	Running  int `json:"running"`
+	Queued   int `json:"queued"`
+	Inflight int `json:"inflight"`
+	// HeartbeatAgeSec is how stale the last heartbeat is; past the
+	// registry's deadline the worker is evicted.
+	HeartbeatAgeSec float64 `json:"heartbeatAgeSec"`
 }
 
 // Runner executes one coloring job. The sink receives the run's
@@ -71,6 +120,10 @@ type JobRequest struct {
 	Seed uint64
 	// MaxRounds caps computation rounds (0 = server default).
 	MaxRounds int
+	// Recovery enables the loss-recovery protocol layer for this run
+	// (core.Options.Recovery with defaults). Deterministic like
+	// everything else: equal requests yield equal results with it on.
+	Recovery bool
 }
 
 // State is a job's lifecycle position.
@@ -150,6 +203,11 @@ type Server struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// abandoned counts jobs still queued or running when a Shutdown
+	// deadline expired; they were canceled rather than drained. Guarded
+	// by mu, reported by Abandoned for the shutdown log line.
+	abandoned int
+
 	started time.Time // server start, for /healthz uptime
 
 	// Instruments (registered on cfg.Registry when present).
@@ -219,7 +277,7 @@ func New(cfg Config) *Server {
 	describeMetrics(reg)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if s.runner == nil {
-		s.runner = shardRunner(cfg.ShardWorkers)
+		s.runner = ShardRunner(cfg.ShardWorkers)
 	}
 	s.mux = s.routes()
 	for i := 0; i < cfg.Workers; i++ {
@@ -257,9 +315,13 @@ func describeMetrics(reg *metrics.Registry) {
 	}
 }
 
-// shardRunner is the production runner: the shard engine under the
+// ShardRunner is the production runner: the shard engine under the
 // job's context, per docs/PERFORMANCE.md the fastest at every size.
-func shardRunner(workers int) Runner {
+// workers is the shard worker count per job (0 = GOMAXPROCS). Exported
+// because cluster workers (internal/cluster) execute dispatched jobs
+// through exactly this runner — remote execution differs only in where
+// the runner runs.
+func ShardRunner(workers int) Runner {
 	return func(ctx context.Context, req JobRequest, sink metrics.Sink) (*core.Result, error) {
 		opt := core.Options{
 			Seed:          req.Seed,
@@ -267,6 +329,7 @@ func shardRunner(workers int) Runner {
 			Workers:       workers,
 			MaxCompRounds: req.MaxRounds,
 			Metrics:       sink,
+			Recovery:      automaton.Recovery{Enabled: req.Recovery},
 		}
 		if req.Strong {
 			return core.ColorStrongCtx(ctx, graph.NewSymmetric(req.Graph), opt)
@@ -450,10 +513,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-drained:
 		return nil
 	case <-ctx.Done():
+		// Count what the deadline is about to cut off before canceling,
+		// so the operator's shutdown log can say how many jobs were
+		// abandoned rather than drained. Lock order s.mu then j.mu
+		// matches the handlers; nothing takes them in reverse.
+		s.mu.Lock()
+		for _, id := range s.order {
+			j := s.jobs[id]
+			j.mu.Lock()
+			if !j.state.terminal() {
+				s.abandoned++
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
 		s.baseCancel()
 		<-drained
 		return ctx.Err()
 	}
+}
+
+// Abandoned reports how many jobs were still queued or running when a
+// Shutdown deadline expired and were canceled instead of drained. Zero
+// after a clean drain.
+func (s *Server) Abandoned() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abandoned
 }
 
 // Close aborts every queued and running job and waits for the workers

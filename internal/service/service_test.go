@@ -404,6 +404,112 @@ func TestShutdownDeadlineCancelsRunning(t *testing.T) {
 	}
 }
 
+func TestShutdownDeadlineCountsAbandoned(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	svc := service.New(service.Config{
+		Workers: 1,
+		Runner:  blockingRunner(started, release),
+	})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// One job parked mid-run, one stuck behind it in the queue: both are
+	// abandoned when the deadline cuts the drain off.
+	submit(t, ts.URL, `{"gen":{"family":"path","n":4},"seed":1}`)
+	<-started
+	submit(t, ts.URL, `{"gen":{"family":"path","n":4},"seed":2}`)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err == nil {
+		t.Fatal("shutdown returned nil despite parked jobs")
+	}
+	if got := svc.Abandoned(); got != 2 {
+		t.Fatalf("Abandoned() = %d, want 2", got)
+	}
+}
+
+func TestShutdownCleanDrainAbandonsNothing(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	st := submit(t, ts.URL, `{"gen":{"family":"path","n":8},"seed":1}`)
+	waitState(t, ts.URL, st.ID, service.StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := svc.Abandoned(); got != 0 {
+		t.Fatalf("Abandoned() after clean drain = %d, want 0", got)
+	}
+}
+
+// fakeCluster is a canned ClusterStatus for readiness tests.
+type fakeCluster struct{ health service.ClusterHealth }
+
+func (f fakeCluster) ClusterHealth() service.ClusterHealth { return f.health }
+
+func getCode(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestReadyzLocalAndCluster(t *testing.T) {
+	local := service.New(service.Config{Workers: 1})
+	lts := httptest.NewServer(local)
+	defer lts.Close()
+	if code := getCode(t, lts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("local /readyz: %d, want 200", code)
+	}
+
+	empty := service.New(service.Config{Workers: 1, Cluster: fakeCluster{}})
+	ets := httptest.NewServer(empty)
+	defer ets.Close()
+	if code := getCode(t, ets.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("empty-cluster /readyz: %d, want 503", code)
+	}
+
+	full := service.New(service.Config{Workers: 1, Cluster: fakeCluster{
+		health: service.ClusterHealth{
+			Ready:   true,
+			Workers: []service.WorkerInfo{{ID: "w001", Addr: "127.0.0.1:9"}},
+		},
+	}})
+	fts := httptest.NewServer(full)
+	defer fts.Close()
+	if code := getCode(t, fts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("ready-cluster /readyz: %d, want 200", code)
+	}
+	resp, err := http.Get(fts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	resp.Body.Close()
+	if !strings.Contains(raw, `"w001"`) {
+		t.Fatalf("healthz misses cluster worker row: %s", raw)
+	}
+
+	// Draining flips readiness regardless of backend.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := local.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if code := getCode(t, lts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz: %d, want 503", code)
+	}
+	full.Close()
+	empty.Close()
+}
+
 func TestHealthzAndMetricsMount(t *testing.T) {
 	reg := metrics.NewRegistry()
 	svc := service.New(service.Config{Workers: 1, Registry: reg})

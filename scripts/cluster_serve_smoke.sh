@@ -1,0 +1,253 @@
+#!/bin/sh
+# cluster_serve_smoke.sh — end-to-end smoke of the dimaserve cluster
+# (docs/CLUSTER_SERVE.md): a front end plus three dimaworker processes,
+# a known-graph job re-verified with dimaverify, a failover arm that
+# SIGKILLs a worker holding live jobs and checks every job still
+# completes with a valid coloring, a dimaload mixed-traffic burst that
+# loses another worker mid-run and must stay inside a zero error
+# budget, and a graceful shutdown after which the surviving workers
+# exit 0 by themselves and no process is left behind. Uses only POSIX
+# sh, curl, grep, and sed so it runs anywhere the Go toolchain does.
+set -eu
+
+ADDR="${DIMASERVE_ADDR:-127.0.0.1:18227}"
+CLUSTER="${DIMACLUSTER_ADDR:-127.0.0.1:18228}"
+BASE="http://$ADDR"
+TOKEN=424242
+REPORT_OUT="${CLUSTER_SERVE_SMOKE_OUT:-}"
+LOGDIR="${CLUSTER_SERVE_SMOKE_LOGDIR:-}"
+TMP="$(mktemp -d)"
+[ -n "$LOGDIR" ] || LOGDIR="$TMP/logs"
+mkdir -p "$LOGDIR"
+
+# PIDs of every process we spawn, for the EXIT trap and the final
+# leak sweep. SIGKILLed and exited entries stay in the list; kill -0
+# simply fails for them.
+PIDS=""
+trap 'for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done' EXIT
+
+say() { echo "cluster-serve-smoke: $*"; }
+die() { say "FAIL: $*"; say "logs in $LOGDIR"; exit 1; }
+
+# Pull "field": "value" / "field": 123 out of the pretty-printed JSON.
+jfield() { sed -n "s/^ *\"$2\": \"\{0,1\}\([^\",]*\)\"\{0,1\},\{0,1\}\$/\1/p" "$1" | head -1; }
+
+# HTTP status code only, body discarded.
+jcode() { curl -s -o /dev/null -w '%{http_code}' "$1"; }
+
+say "building binaries"
+go build -o "$TMP/dimaserve" ./cmd/dimaserve
+go build -o "$TMP/dimaworker" ./cmd/dimaworker
+go build -o "$TMP/dimaload" ./cmd/dimaload
+go build -o "$TMP/graphgen" ./cmd/graphgen
+go build -o "$TMP/dimaverify" ./cmd/dimaverify
+
+# ---------------------------------------------------------------- boot
+# Heartbeat eviction stays at its forgiving default-ish 1s interval
+# (3s timeout): a SIGKILLed worker is detected instantly through the
+# connection reset, so failover speed does not ride on the heartbeat,
+# and a tight deadline would evict healthy-but-busy workers on the
+# small CI machines this smoke shares with six concurrent colorings.
+"$TMP/dimaserve" -addr "$ADDR" -workers 6 -queue 64 \
+    -cluster-listen "$CLUSTER" -cluster-token "$TOKEN" \
+    -cluster-heartbeat 1s >"$LOGDIR/dimaserve.log" 2>&1 &
+SERVER_PID=$!
+PIDS="$PIDS $SERVER_PID"
+
+say "waiting for $BASE/healthz"
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && die "server did not come up"
+    sleep 0.2
+done
+
+# Before any worker registers, the front end is healthy but not ready.
+[ "$(jcode "$BASE/readyz")" = 503 ] || die "/readyz should be 503 with no workers"
+say "/readyz is 503 before workers register"
+
+# start_worker backgrounds a dimaworker and leaves its pid in WPID.
+# (No command substitution: the worker must be a child of this shell so
+# the final `wait` can collect its exit status.)
+start_worker() { # $1 = log name
+    "$TMP/dimaworker" -connect "$CLUSTER" -token "$TOKEN" -capacity 2 \
+        -name "$1" >"$LOGDIR/$1.log" 2>&1 &
+    WPID=$!
+    PIDS="$PIDS $WPID"
+}
+start_worker worker1 && W1=$WPID
+start_worker worker2 && W2=$WPID
+start_worker worker3 && W3=$WPID
+
+# workers_up waits until the /healthz cluster section lists $1 workers.
+HEALTH="$TMP/health.json"
+workers_up() {
+    i=0
+    while :; do
+        curl -sf "$BASE/healthz" >"$HEALTH" || die "healthz unreachable"
+        [ "$(grep -c '"id": "w' "$HEALTH")" -eq "$1" ] && break
+        i=$((i + 1))
+        [ "$i" -gt 50 ] && die "registry never reached $1 workers: $(cat "$HEALTH")"
+        sleep 0.2
+    done
+}
+workers_up 3
+[ "$(jcode "$BASE/readyz")" = 200 ] || die "/readyz should be 200 with workers up"
+say "3 workers registered, /readyz is 200"
+
+# wait_done polls job $1 to the done state (budget $2 polls of 0.2s)
+# and leaves its status in $OUT.
+OUT="$TMP/out.json"
+wait_done() {
+    i=0
+    while :; do
+        curl -sf "$BASE/jobs/$1" >"$OUT" || die "status for $1 unreachable"
+        STATE="$(jfield "$OUT" state)"
+        [ "$STATE" = done ] && break
+        [ "$STATE" = failed ] && die "job $1 failed: $(cat "$OUT")"
+        [ "$STATE" = canceled ] && die "job $1 canceled unexpectedly"
+        i=$((i + 1))
+        [ "$i" -gt "$2" ] && die "job $1 stuck in $STATE"
+        sleep 0.2
+    done
+}
+
+# ------------------------------------- known graph through the cluster
+# A raw-upload job runs on a remote worker; its fetched coloring must
+# re-verify against the exact uploaded graph, weak and strong.
+"$TMP/graphgen" -family er -n 2000 -deg 8 -seed 3 -o "$TMP/g.graph"
+for STRONG in false true; do
+    curl -sf --data-binary @"$TMP/g.graph" \
+        "$BASE/jobs?seed=7&strong=$STRONG" >"$OUT" || die "raw upload rejected"
+    JOB="$(jfield "$OUT" id)"
+    [ -n "$JOB" ] || die "raw upload returned no job id: $(cat "$OUT")"
+    wait_done "$JOB" 100
+    curl -sf "$BASE/jobs/$JOB/result" >"$TMP/result.json" || die "result not fetchable"
+    if [ "$STRONG" = true ]; then
+        "$TMP/dimaverify" -graph "$TMP/g.graph" -coloring "$TMP/result.json" -strong \
+            || die "strong coloring from $JOB does not verify"
+    else
+        "$TMP/dimaverify" -graph "$TMP/g.graph" -coloring "$TMP/result.json" \
+            || die "coloring from $JOB does not verify"
+    fi
+    say "$JOB (strong=$STRONG) verified against the uploaded graph"
+done
+
+# ------------------------------------------------------------ failover
+# Six concurrent long jobs spread 2-2-2 over the three workers, so the
+# victim is guaranteed to hold live jobs when it dies. Every job must
+# still complete (the front end retries the victim's jobs elsewhere).
+say "failover: submitting 6 long jobs, then SIGKILL worker3"
+JOBS=""
+n=0
+while [ "$n" -lt 6 ]; do
+    curl -sf -H 'Content-Type: application/json' \
+        -d "{\"gen\":{\"family\":\"er\",\"n\":60000,\"deg\":8,\"seed\":$((n + 20))},\"seed\":$((n + 1))}" \
+        "$BASE/jobs" >"$OUT" || die "failover submit $n rejected"
+    JOBS="$JOBS $(jfield "$OUT" id)"
+    n=$((n + 1))
+done
+
+# Kill only once the victim demonstrably holds dispatched jobs, so the
+# retry path is exercised deterministically (the router spreads the six
+# jobs 2-2-2, so worker3 gets some).
+i=0
+while :; do
+    curl -sf "$BASE/healthz" >"$HEALTH" || die "healthz unreachable"
+    grep -A5 '"name": "worker3"' "$HEALTH" >"$TMP/w3.json" || true
+    INFLIGHT="$(jfield "$TMP/w3.json" inflight)"
+    [ "${INFLIGHT:-0}" -ge 1 ] && break
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "worker3 never received a job: $(cat "$HEALTH")"
+    sleep 0.1
+done
+kill -9 "$W3" || die "worker3 already gone before the kill"
+wait "$W3" 2>/dev/null || true # reap, so the leak sweep sees no zombie
+say "worker3 killed with $INFLIGHT jobs in flight"
+
+for JOB in $JOBS; do
+    wait_done "$JOB" 300
+    [ "$(jfield "$OUT" aborted)" = false ] || die "job $JOB finished aborted"
+done
+workers_up 2
+RETRIES="$(jfield "$HEALTH" retries)"
+[ "${RETRIES:-0}" -ge 1 ] || die "front end reports no retries after the kill"
+say "all 6 jobs done on the survivors ($RETRIES retries)"
+
+# ------------------------------------- mixed traffic with a worker loss
+# A replacement joins (back to 3 workers), dimaload drives the full op
+# mix, and a second worker dies mid-burst. Retries are transparent to
+# clients, so dimaload must still finish inside a zero error budget.
+start_worker worker4 && W4=$WPID
+workers_up 3
+say "worker4 joined; driving dimaload for 8s and killing worker2 mid-run"
+"$TMP/dimaload" -url "$BASE" -clients 6 -duration 8s -n 2000 -deg 6 \
+    -seed 11 -max-error-rate 0 -out "$TMP/report.json" \
+    >"$LOGDIR/dimaload.log" 2>&1 &
+LOAD_PID=$!
+PIDS="$PIDS $LOAD_PID"
+sleep 3
+kill -9 "$W2" || die "worker2 already gone before the kill"
+wait "$W2" 2>/dev/null || true # reap, so the leak sweep sees no zombie
+wait "$LOAD_PID" || die "dimaload reported SLO violations (see $LOGDIR/dimaload.log)"
+[ -s "$TMP/report.json" ] || die "dimaload wrote no report"
+grep -q '"cluster"' "$TMP/report.json" || die "report is missing the cluster section"
+say "dimaload burst clean through the worker loss"
+
+# -------------------------------- every completed coloring is complete
+# Sweep the whole job table: each done job must report a full coloring
+# (colored == items, not aborted).
+curl -sf "$BASE/jobs" >"$TMP/jobs.json" || die "job list unreachable"
+DONE=0
+for JOB in $(grep -o '"id": "j[0-9]*"' "$TMP/jobs.json" | sed 's/[^j0-9]//g' | sort -u); do
+    curl -sf "$BASE/jobs/$JOB" >"$OUT" || die "status for $JOB unreachable"
+    [ "$(jfield "$OUT" state)" = done ] || continue
+    [ "$(jfield "$OUT" aborted)" = false ] || die "done job $JOB is marked aborted"
+    [ "$(jfield "$OUT" colored)" = "$(jfield "$OUT" items)" ] \
+        || die "done job $JOB left items uncolored: $(cat "$OUT")"
+    DONE=$((DONE + 1))
+done
+[ "$DONE" -ge 8 ] || die "only $DONE done jobs in the sweep; expected at least 8"
+say "verified $DONE completed colorings"
+
+curl -sf "$BASE/metrics" >"$TMP/scrape.txt" || die "/metrics not scrapeable"
+for want in serve_cluster_workers serve_cluster_dispatch_total serve_cluster_retries_total; do
+    grep -q "^$want" "$TMP/scrape.txt" || die "/metrics missing $want"
+done
+grep '^serve_cluster_retries_total ' "$TMP/scrape.txt" | grep -qv ' 0$' \
+    || die "serve_cluster_retries_total still zero after two kills"
+
+# ---------------------------------------------------- graceful shutdown
+# SIGTERM the front end: it drains, closes the cluster listener, and
+# the surviving workers see a clean EOF with nothing in flight and
+# exit 0 on their own.
+kill -TERM "$SERVER_PID"
+i=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 150 ] && die "server did not drain after SIGTERM"
+    sleep 0.2
+done
+wait "$SERVER_PID" 2>/dev/null || true
+for W in "$W1" "$W4"; do
+    i=0
+    while kill -0 "$W" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 50 ] && die "worker $W did not exit after the front end closed"
+        sleep 0.2
+    done
+done
+wait "$W1" || die "worker1 exited nonzero on the front end's drain"
+wait "$W4" || die "worker4 exited nonzero on the front end's drain"
+
+# Leak sweep: nothing we started may still be alive.
+for p in $PIDS; do
+    kill -0 "$p" 2>/dev/null && die "leaked process $p is still running"
+done
+trap - EXIT
+
+if [ -n "$REPORT_OUT" ]; then
+    cp "$TMP/report.json" "$REPORT_OUT"
+    say "report copied to $REPORT_OUT"
+fi
+say "PASS ($DONE colorings verified, $RETRIES failover retries, logs in $LOGDIR)"
